@@ -1,0 +1,99 @@
+"""Shared infrastructure for the experiment benchmarks (E1–E11).
+
+Each ``bench_e*.py`` regenerates one reconstructed table/figure of the
+paper: it computes the rows/series, prints them, writes them to
+``benchmarks/results/``, asserts the *shape* criterion from DESIGN.md,
+and appends an :class:`~repro.analysis.experiment.ExperimentRecord` to
+``benchmarks/results/records.jsonl`` (consumed by EXPERIMENTS.md).
+
+Scale defaults to ``standard`` (the paper-like sizes); set
+``REPRO_BENCH_SCALE=small`` for a quick pass. Runs are cached per
+process so experiments sharing a baseline don't recompute it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.experiment import ExperimentRecord, save_records
+from repro.coloring.base import ColoringResult
+from repro.gpusim.device import RADEON_HD_7950
+from repro.harness.runner import make_executor, run_gpu_coloring
+from repro.harness.suite import build
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "standard")
+DEVICE = RADEON_HD_7950
+
+_RUN_CACHE: dict[tuple, ColoringResult] = {}
+
+
+def timed_run(
+    dataset: str,
+    algorithm: str = "maxmin",
+    *,
+    mapping: str = "thread",
+    schedule: str = "grid",
+    seed: int = 0,
+    algo_kwargs: dict | None = None,
+    **config_kwargs,
+) -> ColoringResult:
+    """Run (or fetch cached) a validated, timed coloring.
+
+    ``config_kwargs`` go to the :class:`ExecutionConfig` (e.g.
+    ``chunk_size``); ``algo_kwargs`` go to the algorithm itself (e.g.
+    ``switch_fraction`` for ``hybrid-switch``).
+    """
+    algo_kwargs = algo_kwargs or {}
+    key = (
+        dataset,
+        SCALE,
+        algorithm,
+        mapping,
+        schedule,
+        seed,
+        tuple(sorted(config_kwargs.items())),
+        tuple(sorted(algo_kwargs.items())),
+    )
+    if key not in _RUN_CACHE:
+        graph = build(dataset, SCALE)
+        executor = make_executor(
+            DEVICE, mapping=mapping, schedule=schedule, **config_kwargs
+        )
+        _RUN_CACHE[key] = run_gpu_coloring(
+            graph, algorithm, executor, seed=seed, **algo_kwargs
+        )
+    return _RUN_CACHE[key]
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a report block and persist it under ``benchmarks/results``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(text + "\n")
+
+
+def record(
+    experiment_id: str,
+    paper_artifact: str,
+    paper_claim: str,
+    measured: str,
+    shape_holds: bool,
+    **details,
+) -> None:
+    """Append this experiment's reproduction record."""
+    save_records(
+        [
+            ExperimentRecord(
+                experiment_id=experiment_id,
+                paper_artifact=paper_artifact,
+                paper_claim=paper_claim,
+                measured=measured,
+                shape_holds=shape_holds,
+                details=details,
+            )
+        ],
+        RESULTS_DIR / "records.jsonl",
+    )

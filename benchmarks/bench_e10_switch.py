@@ -1,0 +1,90 @@
+"""E10 — the algorithm-switch hybrid and its crossover.
+
+Regenerates the hybrid-algorithm figure: max-min runs while the active
+set is wide, speculative first-fit finishes the low-parallelism tail.
+Sweeps the switch threshold. Shape criterion: on skewed graphs (long
+tails of launch-bound near-empty sweeps) an intermediate threshold
+beats both pure strategies' extremes; on meshes (no tail) switching
+buys nothing — the crossover exists only where the tail exists.
+"""
+
+from repro.analysis import format_series, format_table
+from repro.harness.suite import SUITE
+
+from bench_common import SCALE, emit, record, timed_run
+
+FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.25, 1.0)
+
+
+def _sweep(name):
+    times = []
+    for f in FRACTIONS:
+        if f == 0.0:
+            times.append(timed_run(name, "maxmin").time_ms)
+        else:
+            times.append(
+                timed_run(name, "hybrid-switch", algo_kwargs={"switch_fraction": f}).time_ms
+            )
+    return times
+
+
+def test_e10_switch_threshold(benchmark):
+    def sweep_all():
+        return {g: _sweep(g) for g in ("rmat", "powerlaw", "road", "grid3d")}
+
+    times = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    emit(
+        "E10",
+        format_series(
+            list(FRACTIONS),
+            {f"{g}_ms": [round(t, 3) for t in v] for g, v in times.items()},
+            x_name="switch_fraction",
+            title=f"E10: maxmin→speculative switch threshold ({SCALE} scale)",
+        ),
+    )
+
+    # skewed graphs: some intermediate fraction beats pure maxmin (f=0)
+    skewed_win = all(
+        min(times[g][1:-1]) < times[g][0] for g in ("rmat", "powerlaw")
+    )
+    # meshes: pure maxmin already near-optimal (within 15% of anything)
+    mesh_flat = all(
+        times[g][0] <= 1.15 * min(times[g]) for g in ("road", "grid3d")
+    )
+    shape = skewed_win and mesh_flat
+    record(
+        "E10",
+        "Fig: hybrid algorithm (maxmin→first-fit switch) crossover",
+        "switching pays off exactly where the low-parallelism tail exists",
+        f"intermediate-threshold win on skewed: {skewed_win}; "
+        f"meshes indifferent: {mesh_flat}",
+        shape,
+    )
+    assert shape
+
+
+def test_e10_tail_anatomy(benchmark):
+    """Where the switch's gain comes from: tail iterations eliminated."""
+
+    def measure():
+        rows = []
+        for name in ("rmat", "powerlaw", "road"):
+            mm = timed_run(name, "maxmin")
+            sw = timed_run(name, "hybrid-switch", algo_kwargs={"switch_fraction": 0.05})
+            rows.append(
+                {
+                    "graph": name,
+                    "skewed": SUITE[name].skewed,
+                    "maxmin_iters": mm.num_iterations,
+                    "switch_iters": sw.num_iterations,
+                    "maxmin_ms": round(mm.time_ms, 3),
+                    "switch_ms": round(sw.time_ms, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("E10-anatomy", format_table(rows, title="E10: iterations eliminated by the switch"))
+    for r in rows:
+        if r["skewed"]:
+            assert r["switch_iters"] < r["maxmin_iters"]

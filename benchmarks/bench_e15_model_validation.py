@@ -1,0 +1,132 @@
+"""E15 — model validation: first-order vs. detailed simulator.
+
+The whole reproduction rests on the first-order cost law (lockstep max
++ greedy dispatch + roofline). E15 cross-checks it against the
+event-driven interleaving model (:mod:`repro.gpusim.detailed`), which
+makes *no latency-hiding assumption* — hiding emerges from wavefront
+residency. Shape criteria: the two models rank the suite the same way
+(their per-graph sweep times are rank-correlated), and both agree on
+the skewed-vs-uniform gap and on the hybrid mapping's win. Absolute
+times are allowed to differ (the models charge memory differently).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.coloring.kernels import CostModel
+from repro.gpusim.detailed import (
+    DetailedParams,
+    detailed_dispatch,
+    thread_kernel_decomposition,
+)
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.memory import MemoryModel
+from repro.gpusim.scheduler import dispatch
+from repro.harness.suite import SUITE, build
+
+from bench_common import DEVICE, SCALE, emit, record
+
+
+def _rank(values):
+    order = np.argsort(values)
+    ranks = np.empty(len(values))
+    ranks[order] = np.arange(len(values))
+    return ranks
+
+
+def spearman(a, b) -> float:
+    ra, rb = _rank(a), _rank(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    return float((ra * rb).sum() / denom) if denom else 1.0
+
+
+def test_e15_model_agreement(benchmark):
+    cm = CostModel(DEVICE, MemoryModel(DEVICE))
+    params = DetailedParams()
+
+    def measure():
+        rows = []
+        fo_times, det_times = [], []
+        for name, spec in SUITE.items():
+            graph = build(name, SCALE)
+            deg = graph.degrees
+            fo = dispatch(
+                KernelSpec("sweep", cm.thread_vertex_cycles(deg)), DEVICE
+            ).compute_cycles
+            issue, acc = thread_kernel_decomposition(cm, deg)
+            det = detailed_dispatch(issue, acc, DEVICE, params)
+            rows.append(
+                {
+                    "graph": name,
+                    "skewed": spec.skewed,
+                    "first_order": round(fo, 0),
+                    "detailed": round(det.cycles, 0),
+                    "ratio": round(det.cycles / fo, 2),
+                    "issue_util": round(det.issue_utilization, 3),
+                }
+            )
+            fo_times.append(fo)
+            det_times.append(det.cycles)
+        return rows, fo_times, det_times
+
+    rows, fo_times, det_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "E15",
+        format_table(
+            rows,
+            title=f"E15: first-order vs detailed model, one baseline sweep ({SCALE})",
+        ),
+    )
+
+    rho = spearman(fo_times, det_times)
+    skew_gap_fo = min(
+        r["first_order"] for r in rows if r["skewed"]
+    ) > max(r["first_order"] for r in rows if not r["skewed"])
+    skew_gap_det = min(r["detailed"] for r in rows if r["skewed"]) > max(
+        r["detailed"] for r in rows if not r["skewed"]
+    )
+    shape = rho > 0.85 and skew_gap_fo == skew_gap_det
+    record(
+        "E15",
+        "Validation: first-order cost law vs event-driven interleaving model",
+        "(methodology check) the reproduction's shapes are model-robust",
+        f"Spearman ρ = {rho:.3f} across the suite; skew gap agrees: "
+        f"{skew_gap_fo} == {skew_gap_det}",
+        shape,
+        ratios=[r["ratio"] for r in rows],
+    )
+    assert shape
+
+
+def test_e15_hybrid_win_is_model_robust(benchmark):
+    """Both models must agree the hybrid mapping beats thread on rmat."""
+    cm = CostModel(DEVICE, MemoryModel(DEVICE))
+    graph = build("rmat", SCALE)
+    deg = graph.degrees
+
+    def measure():
+        # first-order
+        from repro.harness.runner import make_executor
+
+        fo_thread = make_executor(DEVICE).time_iteration(deg).cycles
+        fo_hybrid = make_executor(DEVICE, mapping="hybrid").time_iteration(deg).cycles
+        # detailed: thread mapping vs hybrid-approximated (hub degrees
+        # replaced by their cooperative per-wavefront share)
+        issue_t, acc_t = thread_kernel_decomposition(cm, deg)
+        det_thread = detailed_dispatch(issue_t, acc_t, DEVICE).cycles
+        capped = np.minimum(deg, 64)  # hubs become ≤1 stride per lane
+        issue_h, acc_h = thread_kernel_decomposition(cm, capped)
+        det_hybrid = detailed_dispatch(issue_h, acc_h, DEVICE).cycles
+        return fo_thread, fo_hybrid, det_thread, det_hybrid
+
+    fo_t, fo_h, det_t, det_h = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {"model": "first-order", "thread": round(fo_t, 0), "hybrid": round(fo_h, 0),
+         "speedup": round(fo_t / fo_h, 2)},
+        {"model": "detailed", "thread": round(det_t, 0), "hybrid": round(det_h, 0),
+         "speedup": round(det_t / det_h, 2)},
+    ]
+    emit("E15-hybrid", format_table(rows, title="E15: hybrid win under both models (rmat sweep)"))
+    assert fo_h < fo_t and det_h < det_t

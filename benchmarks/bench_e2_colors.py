@@ -1,0 +1,52 @@
+"""E2 — color quality table: GPU algorithms vs. sequential references.
+
+Regenerates the colors-used comparison. Shape criterion: GPU
+independent-set colorings use somewhat more colors than sequential
+greedy (the known parallelism trade-off), max-min the most (two colors
+per round), DSATUR the fewest.
+"""
+
+from repro.analysis import format_table
+from repro.harness.runner import run_cpu_coloring
+from repro.harness.suite import build, suite_names
+from repro.metrics import geometric_mean
+
+from bench_common import SCALE, emit, record, timed_run
+
+GPU_ALGOS = ("maxmin", "jp", "speculative")
+CPU_ALGOS = ("greedy", "welsh-powell", "smallest-last", "dsatur")
+
+
+def _colors_table():
+    rows = []
+    for name in suite_names():
+        graph = build(name, SCALE)
+        row = {"graph": name}
+        for algo in CPU_ALGOS:
+            row[algo] = run_cpu_coloring(graph, algo).num_colors
+        for algo in GPU_ALGOS:
+            row[algo] = timed_run(name, algo).num_colors
+        rows.append(row)
+    return rows
+
+
+def test_e2_color_quality(benchmark):
+    rows = benchmark.pedantic(_colors_table, rounds=1, iterations=1)
+    emit("E2", format_table(rows, title=f"E2: colors used ({SCALE} scale)"))
+
+    ratios_jp = [r["jp"] / r["greedy"] for r in rows]
+    ratios_mm = [r["maxmin"] / r["greedy"] for r in rows]
+    dsatur_best = sum(
+        1 for r in rows if r["dsatur"] <= min(r[a] for a in GPU_ALGOS + ("greedy",))
+    )
+    gm_jp, gm_mm = geometric_mean(ratios_jp), geometric_mean(ratios_mm)
+    shape = 1.0 <= gm_jp <= 2.0 and gm_mm >= gm_jp and dsatur_best >= 7
+    record(
+        "E2",
+        "Table: colors per algorithm vs sequential greedy",
+        "GPU colorings cost moderately more colors; DSATUR fewest",
+        f"JP/greedy geomean={gm_jp:.2f}, maxmin/greedy={gm_mm:.2f}, "
+        f"DSATUR best on {dsatur_best}/10",
+        shape,
+    )
+    assert shape

@@ -1,0 +1,74 @@
+"""E4 — per-iteration behavior: active vertices and newly colored.
+
+Regenerates the iteration-profile figure for a skewed graph vs. a
+road-like mesh. Shape criterion: on the mesh the active set collapses
+geometrically (near-constant degree → most vertices are local extrema
+early); on the skewed graph a long low-parallelism tail remains — the
+very tail the algorithm-switch hybrid (E10) targets.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.harness.suite import build
+
+from bench_common import SCALE, emit, record, timed_run
+
+REPRESENTATIVES = ("rmat", "road")
+
+
+def _profiles():
+    out = {}
+    for name in REPRESENTATIVES:
+        r = timed_run(name, "maxmin")
+        out[name] = {
+            "active": [it.active_vertices for it in r.iterations],
+            "colored": [it.newly_colored for it in r.iterations],
+            "n": build(name, SCALE).num_vertices,
+        }
+    return out
+
+
+def test_e4_iteration_profiles(benchmark):
+    profiles = benchmark.pedantic(_profiles, rounds=1, iterations=1)
+
+    blocks = []
+    for name, p in profiles.items():
+        k = len(p["active"])
+        show = list(range(min(k, 12))) + ([k - 1] if k > 12 else [])
+        blocks.append(
+            format_series(
+                [f"it{i}" for i in show],
+                {
+                    "active": [p["active"][i] for i in show],
+                    "newly_colored": [p["colored"][i] for i in show],
+                },
+                x_name="iteration",
+                title=f"E4: per-iteration profile — {name} "
+                f"(n={p['n']}, {k} iterations total)",
+            )
+        )
+    emit("E4", "\n\n".join(blocks))
+
+    road_iters = len(profiles["road"]["active"])
+    rmat_iters = len(profiles["rmat"]["active"])
+    # tail length: iterations where under 1% of vertices stay active
+    def tail(p):
+        thresh = 0.01 * p["n"]
+        return sum(1 for a in p["active"] if a < thresh)
+
+    shape = (
+        rmat_iters > 3 * road_iters and tail(profiles["rmat"]) > tail(profiles["road"])
+    )
+    record(
+        "E4",
+        "Fig: active/colored vertices per iteration",
+        "skewed graphs drag a long low-parallelism tail; meshes converge in few rounds",
+        f"iterations: rmat={rmat_iters}, road={road_iters}; "
+        f"sub-1% tail: rmat={tail(profiles['rmat'])}, road={tail(profiles['road'])}",
+        shape,
+    )
+    assert shape
+    # conservation: every vertex colored exactly once
+    for name, p in profiles.items():
+        assert int(np.sum(p["colored"])) == p["n"]

@@ -1,0 +1,77 @@
+"""E5 — load-imbalance characterization of the baseline kernel.
+
+Regenerates the imbalance-analysis figure: for each graph, the SIMD
+(intra-wavefront) efficiency and the per-CU busy-time imbalance of one
+full baseline sweep, under grid dispatch and static persistent mapping.
+Shape criterion: both metrics separate the skewed from the uniform
+class — load imbalance is a property of the *input structure*, the
+paper's central diagnosis.
+"""
+
+from repro.analysis import format_table
+from repro.gpusim.wavefront import divergence_stats
+from repro.harness.runner import make_executor
+from repro.harness.suite import SUITE, build
+from repro.metrics import idle_fraction, imbalance_factor
+
+from bench_common import DEVICE, SCALE, emit, record
+
+
+def _table():
+    grid_ex = make_executor(DEVICE)
+    static_ex = make_executor(DEVICE, schedule="static")
+    rows = []
+    for name, spec in SUITE.items():
+        graph = build(name, SCALE)
+        deg = graph.degrees
+        lane = grid_ex.costs.thread_vertex_cycles(deg)
+        div = divergence_stats(lane, DEVICE.wavefront_size)
+        t_grid = grid_ex.time_iteration(deg, name="sweep")
+        t_static = static_ex.time_iteration(deg, name="sweep")
+        rows.append(
+            {
+                "graph": name,
+                "skewed": spec.skewed,
+                "simd_eff": round(div.simd_efficiency, 3),
+                "wf_cv": round(div.wavefront_cv, 2),
+                "grid_imb": round(imbalance_factor(t_grid.cu_busy), 2),
+                "static_imb": round(imbalance_factor(t_static.cu_busy), 2),
+                "static_idle": round(idle_fraction(t_static.cu_busy), 3),
+            }
+        )
+    return rows
+
+
+def test_e5_imbalance_characterization(benchmark):
+    rows = benchmark.pedantic(_table, rounds=1, iterations=1)
+    emit(
+        "E5",
+        format_table(
+            rows,
+            title=f"E5: baseline-sweep load imbalance ({SCALE} scale)",
+        ),
+    )
+
+    skewed = [r for r in rows if r["skewed"]]
+    uniform = [r for r in rows if not r["skewed"]]
+    # SIMD efficiency is max-of-64-lanes sensitive, so even Poisson
+    # degrees dent it; the clean structural separators are the
+    # inter-wavefront CV and the per-CU imbalance under static slabs.
+    cv_gap = min(r["wf_cv"] for r in skewed) > 5 * max(
+        r["wf_cv"] for r in uniform
+    )
+    imb_gap = min(r["static_imb"] for r in skewed) > 2 * max(
+        r["static_imb"] for r in uniform
+    )
+    shape = cv_gap and imb_gap
+    record(
+        "E5",
+        "Fig: wavefront divergence and per-CU imbalance of the baseline",
+        "imbalance is structural: skewed inputs diverge and idle CUs, meshes don't",
+        f"wavefront CV: skewed ≥ {min(r['wf_cv'] for r in skewed):.2f} vs "
+        f"uniform ≤ {max(r['wf_cv'] for r in uniform):.2f}; "
+        f"static CU imbalance: skewed ≥ {min(r['static_imb'] for r in skewed):.2f} vs "
+        f"uniform ≤ {max(r['static_imb'] for r in uniform):.2f}",
+        shape,
+    )
+    assert shape

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Domain example: register allocation by interference-graph coloring.
+
+A compiler assigns virtual registers to K physical registers by coloring
+the *interference graph* (vertices = live ranges, edges = simultaneous
+liveness). Colors ≤ K means a spill-free allocation; every color above
+K forces spills. This example synthesizes interference graphs from
+simulated live ranges, colors them with the library's algorithms, and
+reports spill counts for a K=16 register file.
+
+Run:  python examples/register_allocation.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.coloring import dsatur, greedy_first_fit, smallest_last
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.graphs.csr import CSRGraph
+
+NUM_REGISTERS = 16
+
+
+def interference_graph(
+    num_ranges: int, program_length: int, mean_span: int, seed: int
+) -> CSRGraph:
+    """Random live ranges on a linear program; overlap = interference."""
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, program_length, size=num_ranges)
+    spans = rng.geometric(1.0 / mean_span, size=num_ranges)
+    ends = np.minimum(starts + spans, program_length)
+    order = np.argsort(starts, kind="stable")
+    starts, ends = starts[order], ends[order]
+    us, vs = [], []
+    # sweep: ranges interfere iff they overlap
+    for i in range(num_ranges):
+        for j in range(i + 1, num_ranges):
+            if starts[j] >= ends[i]:
+                break
+            us.append(i)
+            vs.append(j)
+    return CSRGraph.from_edges(us, vs, num_vertices=num_ranges)
+
+
+def spills(colors: np.ndarray, k: int) -> int:
+    """Live ranges assigned a color ≥ k must spill to memory."""
+    return int((colors >= k).sum())
+
+
+def main() -> None:
+    workloads = {
+        "small kernel": interference_graph(300, 1200, 40, seed=1),
+        "hot loop": interference_graph(500, 800, 60, seed=2),
+        "whole function": interference_graph(2000, 8000, 50, seed=3),
+    }
+    algorithms = {
+        "greedy (program order)": lambda g: greedy_first_fit(g, order="natural"),
+        "smallest-last (Chaitin-style)": smallest_last,
+        "dsatur": dsatur,
+        "jones-plassmann (parallel)": lambda g: jones_plassmann_coloring(g, seed=0),
+    }
+
+    for wname, graph in workloads.items():
+        rows = []
+        for aname, algo in algorithms.items():
+            result = algo(graph).validate(graph)
+            rows.append(
+                {
+                    "allocator": aname,
+                    "colors": result.num_colors,
+                    "spilled": spills(result.colors, NUM_REGISTERS),
+                    "spill_%": round(
+                        100 * spills(result.colors, NUM_REGISTERS) / graph.num_vertices, 1
+                    ),
+                }
+            )
+        print(
+            format_table(
+                rows,
+                title=f"{wname}: {graph.num_vertices} live ranges, "
+                f"{graph.num_edges} interferences, K={NUM_REGISTERS}",
+            )
+        )
+        print()
+    print(
+        "Interval-overlap graphs are chordal, so smallest-last/DSATUR are "
+        "near-optimal;\nthe parallel Jones-Plassmann allocator pays a "
+        "small spill premium for parallelism."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reporting: ASCII tables/series and experiment reproduction records."""
+
+from .experiment import ExperimentRecord, load_records, render_markdown, save_records
+from .gantt import render_busy_bars, render_gantt
+from .report import run_report
+from .trace_io import save_chrome_trace, timeline_to_trace_events
+from .tables import format_kv, format_series, format_table
+
+__all__ = [
+    "render_busy_bars",
+    "render_gantt",
+    "run_report",
+    "save_chrome_trace",
+    "timeline_to_trace_events",
+    "ExperimentRecord",
+    "load_records",
+    "render_markdown",
+    "save_records",
+    "format_kv",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,81 @@
+"""Experiment records — paper claim vs. measured outcome.
+
+Each benchmark produces an :class:`ExperimentRecord` tying a
+reconstructed paper artifact (table/figure) to the measured result and a
+pass/fail verdict on the *shape* criterion (who wins, by what rough
+factor). ``EXPERIMENTS.md`` is assembled from these records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecord", "render_markdown", "save_records", "load_records"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's reproduction outcome."""
+
+    experiment_id: str  # e.g. "E6"
+    paper_artifact: str  # e.g. "Fig: work-stealing speedup per graph"
+    paper_claim: str  # the qualitative/quantitative claim being reproduced
+    measured: str  # what this run measured
+    shape_holds: bool  # did the qualitative shape reproduce?
+    details: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "id": self.experiment_id,
+            "artifact": self.paper_artifact,
+            "claim": self.paper_claim,
+            "measured": self.measured,
+            "shape": "holds" if self.shape_holds else "DIVERGES",
+        }
+
+
+def render_markdown(records: list[ExperimentRecord]) -> str:
+    """Render records as the EXPERIMENTS.md body."""
+    lines = [
+        "| Exp | Paper artifact | Paper claim | Measured | Shape |",
+        "|-----|----------------|-------------|----------|-------|",
+    ]
+    for r in sorted(records, key=lambda r: r.experiment_id):
+        shape = "✅ holds" if r.shape_holds else "❌ diverges"
+        lines.append(
+            f"| {r.experiment_id} | {r.paper_artifact} | {r.paper_claim} "
+            f"| {r.measured} | {shape} |"
+        )
+    return "\n".join(lines)
+
+
+def _json_default(obj):
+    """Coerce numpy scalars (np.bool_, np.int64, np.float64) to JSON."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj)}")
+
+
+def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
+    """Append records to a JSON-lines file (one record per line)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        for r in records:
+            fh.write(json.dumps(asdict(r), default=_json_default) + "\n")
+
+
+def load_records(path: str | Path) -> list[ExperimentRecord]:
+    """Load records from a JSON-lines file (empty list if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    records = []
+    with p.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(ExperimentRecord(**json.loads(line)))
+    return records

@@ -1,0 +1,71 @@
+"""ASCII Gantt rendering of execution timelines.
+
+Turns a :class:`~repro.gpusim.trace.Timeline` into the text equivalent
+of the paper's CU-activity figures: one row per pipe/CU/worker, time on
+the x-axis, ``█`` where the unit is busy. Good enough to *see* the
+static-mapping straggler and the flattening effect of stealing right in
+a terminal or a test log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.trace import Timeline
+
+__all__ = ["render_gantt", "render_busy_bars"]
+
+
+def render_gantt(
+    timeline: Timeline,
+    *,
+    width: int = 72,
+    busy_char: str = "█",
+    idle_char: str = "·",
+) -> str:
+    """Render the timeline as one busy/idle row per pipe.
+
+    Each column covers ``makespan / width`` cycles; a cell is busy if
+    any interval overlaps it. Rows are labelled with the pipe id and its
+    busy percentage.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    span = timeline.makespan
+    lines = []
+    busy_total = timeline.busy_per_pipe()
+    if span == 0:
+        return "\n".join(
+            f"p{p:<3d} |{idle_char * width}|   0.0%" for p in range(timeline.num_pipes)
+        )
+    cell = span / width
+    pipes, starts, ends = timeline.pipes, timeline.starts, timeline.ends
+    for p in range(timeline.num_pipes):
+        mask = pipes == p
+        row = np.zeros(width, dtype=bool)
+        for s, e in zip(starts[mask], ends[mask]):
+            lo = int(s / cell)
+            hi = min(int(np.ceil(e / cell)), width)
+            if e > s:
+                row[lo : max(hi, lo + 1)] = True
+        pct = 100.0 * busy_total[p] / span
+        cells = "".join(busy_char if b else idle_char for b in row)
+        lines.append(f"p{p:<3d} |{cells}| {pct:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_busy_bars(
+    loads: np.ndarray, *, width: int = 50, label: str = "w"
+) -> str:
+    """Render per-worker loads as horizontal bars (normalized to max)."""
+    x = np.asarray(loads, dtype=np.float64).ravel()
+    if x.size == 0:
+        return "(no workers)"
+    if np.any(x < 0):
+        raise ValueError("loads must be non-negative")
+    peak = x.max()
+    lines = []
+    for i, v in enumerate(x):
+        n = int(round(width * v / peak)) if peak > 0 else 0
+        lines.append(f"{label}{i:<3d} {'█' * n}{' ' * (width - n)} {v:,.0f}")
+    return "\n".join(lines)

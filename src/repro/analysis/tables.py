@@ -1,0 +1,88 @@
+"""Plain-text table/series rendering for benchmark reports.
+
+Every benchmark prints the rows/series its paper table or figure would
+contain; these helpers keep that output aligned, stable, and diff-able
+(no external plotting dependencies — figures are emitted as the series
+data that would be plotted).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Column order follows ``columns`` when given, else the first row's
+    key order; missing cells render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    grid = [[_cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in grid)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in grid:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[object],
+    ys: Mapping[str, Iterable[float]],
+    *,
+    x_name: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    xs = list(x)
+    names = list(ys.keys())
+    cols = [x_name, *names]
+    series = {k: list(v) for k, v in ys.items()}
+    for k, v in series.items():
+        if len(v) != len(xs):
+            raise ValueError(f"series {k!r} length {len(v)} != x length {len(xs)}")
+    rows = [
+        {x_name: xs[i], **{k: series[k][i] for k in names}} for i in range(len(xs))
+    ]
+    return format_table(rows, title=title, columns=cols)
+
+
+def format_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a key/value summary block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_cell(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,353 @@
+"""Command-line interface — ``repro-color`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-color suite [--scale small]          # datasets table (E1)
+    repro-color color rmat --algorithm maxmin  # one timed coloring run
+    repro-color color path/to/graph.mtx ...    # works on files too
+    repro-color compare rmat                   # all algorithms side by side
+    repro-color stats powerlaw                 # structure + layout analysis
+    repro-color convert in.mtx out.col         # graph format conversion
+    repro-color sweep rmat --parameter chunk_size 256 512 1024
+
+Any suite dataset name or a graph file path is accepted wherever a graph
+is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.tables import format_kv, format_table
+from .coloring.kernels import MAPPINGS, SCHEDULES
+from .graphs.csr import CSRGraph
+from .graphs.io import load_graph
+from .graphs.stats import summarize
+from .gpusim.device import named_device
+from .harness.runner import CPU_ALGORITHMS, GPU_ALGORITHMS, make_executor, run_cpu_coloring, run_gpu_coloring
+from .harness.suite import SCALES, SUITE, build, summarize_suite
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_graph(name: str, scale: str) -> tuple[CSRGraph, str]:
+    """Interpret ``name`` as a suite dataset or a file path."""
+    if name in SUITE:
+        return build(name, scale), name
+    path = Path(name)
+    if path.exists():
+        return load_graph(path), path.name
+    raise SystemExit(
+        f"error: {name!r} is neither a suite dataset ({', '.join(SUITE)}) "
+        "nor an existing file"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-color",
+        description="GPU graph coloring on a SIMT timing simulator "
+        "(reproduction of Che et al., IPDPSW 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="print the dataset suite table")
+    p_suite.add_argument("--scale", choices=SCALES, default="small")
+
+    p_color = sub.add_parser("color", help="run one coloring")
+    p_color.add_argument("graph", help="suite dataset name or graph file")
+    p_color.add_argument(
+        "--algorithm",
+        "-a",
+        default="maxmin",
+        choices=sorted(GPU_ALGORITHMS) + sorted(CPU_ALGORITHMS),
+    )
+    p_color.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_color.add_argument("--schedule", choices=SCHEDULES, default="grid")
+    p_color.add_argument("--device", default="hd7950")
+    p_color.add_argument("--scale", choices=SCALES, default="small")
+    p_color.add_argument("--seed", type=int, default=0)
+    p_color.add_argument("--workgroup-size", type=int, default=256)
+    p_color.add_argument("--chunk-size", type=int, default=1024)
+    p_color.add_argument("--degree-threshold", type=int, default=64)
+    p_color.add_argument("--sort-by-degree", action="store_true")
+    p_color.add_argument(
+        "--priority",
+        choices=("random", "degree", "smallest_last"),
+        default="random",
+        help="priority function for maxmin/jp",
+    )
+    p_color.add_argument(
+        "--reorder",
+        choices=("none", "bfs", "rcm", "degree", "random"),
+        default="none",
+        help="relabel the graph before coloring",
+    )
+    p_color.add_argument(
+        "--iterations", action="store_true", help="print the per-iteration history"
+    )
+
+    p_cmp = sub.add_parser("compare", help="all GPU algorithms side by side")
+    p_cmp.add_argument("graph", help="suite dataset name or graph file")
+    p_cmp.add_argument("--scale", choices=SCALES, default="small")
+    p_cmp.add_argument("--device", default="hd7950")
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser("report", help="full run report (counters + load profile)")
+    p_rep.add_argument("graph", help="suite dataset name or graph file")
+    p_rep.add_argument("--algorithm", "-a", default="maxmin", choices=sorted(GPU_ALGORITHMS))
+    p_rep.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_rep.add_argument("--schedule", choices=SCHEDULES, default="grid")
+    p_rep.add_argument("--scale", choices=SCALES, default="small")
+    p_rep.add_argument("--device", default="hd7950")
+    p_rep.add_argument("--seed", type=int, default=0)
+
+    p_stats = sub.add_parser("stats", help="structure + layout analysis")
+    p_stats.add_argument("graph", help="suite dataset name or graph file")
+    p_stats.add_argument("--scale", choices=SCALES, default="small")
+
+    p_conv = sub.add_parser("convert", help="convert between graph formats")
+    p_conv.add_argument("input", help="input graph file (or suite dataset)")
+    p_conv.add_argument("output", help="output path; format from extension")
+    p_conv.add_argument("--scale", choices=SCALES, default="small")
+
+    p_tune = sub.add_parser("tune", help="autotune the configuration for an input")
+    p_tune.add_argument("graph", help="suite dataset name or graph file")
+    p_tune.add_argument("--scale", choices=SCALES, default="small")
+    p_tune.add_argument("--device", default="hd7950")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--run", action="store_true", help="also run maxmin under the winner"
+    )
+
+    p_sweep = sub.add_parser("sweep", help="sweep one execution parameter")
+    p_sweep.add_argument("graph", help="suite dataset name or graph file")
+    p_sweep.add_argument(
+        "--parameter",
+        choices=("chunk_size", "degree_threshold", "workgroup_size"),
+        default="chunk_size",
+    )
+    p_sweep.add_argument("values", nargs="+", type=int, help="parameter values")
+    p_sweep.add_argument("--algorithm", "-a", default="maxmin", choices=sorted(GPU_ALGORITHMS))
+    p_sweep.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_sweep.add_argument("--schedule", choices=SCHEDULES, default="stealing")
+    p_sweep.add_argument("--scale", choices=SCALES, default="small")
+    p_sweep.add_argument("--device", default="hd7950")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    rows = [s.as_row() for s in summarize_suite(args.scale)]
+    print(format_table(rows, title=f"dataset suite ({args.scale} scale)"))
+    return 0
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    graph, name = _resolve_graph(args.graph, args.scale)
+    if args.reorder != "none":
+        from .graphs import reorder as ro
+
+        perm = {
+            "bfs": ro.bfs_order,
+            "rcm": ro.rcm_order,
+            "degree": ro.degree_order,
+            "random": lambda g: ro.random_order(g, seed=args.seed),
+        }[args.reorder](graph)
+        graph = graph.permute(perm)
+    print(format_kv(summarize(graph, name).as_row(), title="input"))
+    print()
+    if args.algorithm in CPU_ALGORITHMS:
+        result = run_cpu_coloring(graph, args.algorithm)
+    else:
+        executor = make_executor(
+            named_device(args.device),
+            mapping=args.mapping,
+            schedule=args.schedule,
+            workgroup_size=args.workgroup_size,
+            chunk_size=args.chunk_size,
+            degree_threshold=args.degree_threshold,
+            sort_by_degree=args.sort_by_degree,
+        )
+        algo_kwargs = (
+            {"priority": args.priority} if args.algorithm in ("maxmin", "jp") else {}
+        )
+        result = run_gpu_coloring(
+            graph, args.algorithm, executor, seed=args.seed, **algo_kwargs
+        )
+    print(format_kv(result.as_row(), title="result (validated)"))
+    if args.iterations and result.iterations:
+        print()
+        rows = [
+            {
+                "iter": it.index,
+                "active": it.active_vertices,
+                "colored": it.newly_colored,
+                "cycles": round(it.cycles, 1),
+                "simd_eff": round(it.simd_efficiency, 3)
+                if it.simd_efficiency is not None
+                else None,
+            }
+            for it in result.iterations
+        ]
+        print(format_table(rows, title="iterations"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph, name = _resolve_graph(args.graph, args.scale)
+    device = named_device(args.device)
+    rows = []
+    for algo in GPU_ALGORITHMS:
+        result = run_gpu_coloring(
+            graph, algo, make_executor(device), seed=args.seed
+        )
+        rows.append(result.as_row())
+    for algo in ("greedy", "dsatur"):
+        rows.append(run_cpu_coloring(graph, algo).as_row())
+    print(format_table(rows, title=f"{name}: algorithm comparison"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import run_report
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    executor = make_executor(
+        named_device(args.device), mapping=args.mapping, schedule=args.schedule
+    )
+    result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed)
+    print(run_report(graph, result, executor, graph_name=name))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .graphs import reorder as ro
+    from .graphs.stats import degree_histogram
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    print(format_kv(summarize(graph, name).as_row(), title="structure"))
+    print()
+    hist = degree_histogram(graph)
+    nz = [(d, int(c)) for d, c in enumerate(hist) if c]
+    head = nz[:10]
+    rows = [{"degree": d, "count": c} for d, c in head]
+    if len(nz) > 10:
+        rows.append({"degree": f"…{nz[-1][0]}", "count": nz[-1][1]})
+    print(format_table(rows, title="degree histogram (head)"))
+    print()
+    layouts = {
+        "natural": None,
+        "bfs": ro.bfs_order(graph),
+        "rcm": ro.rcm_order(graph),
+        "degree": ro.degree_order(graph),
+        "random": ro.random_order(graph),
+    }
+    rows = []
+    for label, perm in layouts.items():
+        g = graph if perm is None else graph.permute(perm)
+        rows.append({"layout": label, "bandwidth": ro.bandwidth(g)})
+    print(format_table(rows, title="layout bandwidths"))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .graphs.io import (
+        write_dimacs_coloring,
+        write_edge_list,
+        write_matrix_market,
+        write_metis,
+    )
+
+    graph, name = _resolve_graph(args.input, args.scale)
+    out = Path(args.output)
+    writers = {
+        ".mtx": write_matrix_market,
+        ".col": write_dimacs_coloring,
+        ".graph": write_metis,
+    }
+    writer = writers.get(out.suffix, write_edge_list)
+    writer(graph, out)
+    print(f"wrote {name} ({graph.num_vertices} vertices, {graph.num_edges} edges) → {out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .harness.autotune import autotune
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    device = named_device(args.device)
+    outcome = autotune(graph, device, seed=args.seed)
+    print(format_table(outcome.scoreboard_rows(), title=f"{name}: autotune scoreboard"))
+    cfg = outcome.best
+    print()
+    print(
+        f"winner: mapping={cfg.mapping} schedule={cfg.schedule} "
+        f"degree_threshold={cfg.degree_threshold} chunk_size={cfg.chunk_size}"
+    )
+    if args.run:
+        executor = make_executor(
+            device,
+            mapping=cfg.mapping,
+            schedule=cfg.schedule,
+            degree_threshold=cfg.degree_threshold,
+            chunk_size=cfg.chunk_size,
+            workgroup_size=min(cfg.workgroup_size, device.max_workgroup_size),
+        )
+        result = run_gpu_coloring(graph, "maxmin", executor, seed=args.seed)
+        print()
+        print(format_kv(result.as_row(), title="tuned run (validated)"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph, name = _resolve_graph(args.graph, args.scale)
+    device = named_device(args.device)
+    rows = []
+    for value in args.values:
+        kwargs = {args.parameter: value}
+        if args.parameter == "workgroup_size" and value > args.values[0]:
+            kwargs.setdefault("chunk_size", max(256, value))
+        if args.parameter == "workgroup_size":
+            kwargs["chunk_size"] = max(256, value)
+        executor = make_executor(
+            device, mapping=args.mapping, schedule=args.schedule, **kwargs
+        )
+        result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed)
+        rows.append(
+            {
+                args.parameter: value,
+                "time_ms": round(result.time_ms, 4),
+                "colors": result.num_colors,
+                "iterations": result.num_iterations,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{name}: {args.algorithm} ({args.mapping}/{args.schedule}) "
+            f"sweep over {args.parameter}",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "suite": _cmd_suite,
+        "color": _cmd_color,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "tune": _cmd_tune,
+        "stats": _cmd_stats,
+        "convert": _cmd_convert,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

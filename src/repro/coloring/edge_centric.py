@@ -1,0 +1,130 @@
+"""Edge-centric coloring kernels — uniform work items by construction.
+
+The thread-per-vertex mapping diverges because a lane's work is its
+vertex's degree. The *edge-centric* formulation sidesteps divergence
+entirely: one work item per directed edge, each doing O(1) work (read
+the neighbor's state, atomically fold into the owner's accumulator),
+followed by an O(1)-per-vertex decision kernel. Perfect balance — but
+it pays for it with atomics on every edge and a second kernel per
+sweep, so it loses to vertex kernels on uniform graphs and wins on
+skewed ones. That crossover is experiment E13.
+
+The *algorithm* is exactly max-min (same priorities, same seed → the
+identical coloring as :func:`repro.coloring.maxmin.maxmin_coloring`);
+only the simulated kernel organization differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ._nbr import neighbor_max, neighbor_min
+from .base import UNCOLORED, ColoringResult, IterationRecord
+from .kernels import GPUExecutor
+from .maxmin import compact_colors
+from .priorities import make_priorities
+
+__all__ = ["edge_centric_maxmin", "edge_kernel_cycles_per_item"]
+
+
+def edge_kernel_cycles_per_item(executor: GPUExecutor) -> float:
+    """Cycles one directed-edge work item costs.
+
+    Read the two endpoint states (scattered) plus one global atomic
+    max/min fold into the owner's accumulator, plus a couple of ALU ops.
+    Uniform across items — that is the whole point.
+    """
+    mem = executor.memory
+    dev = executor.device
+    return float(
+        2.0 * mem.scattered_element_cycles + dev.atomic_cycles / 4.0 + 2.0 * dev.alu_cycles
+    )
+
+
+def _vertex_decision_cycles(executor: GPUExecutor) -> float:
+    """O(1) per-vertex decision kernel (compare accumulators, write)."""
+    mem = executor.memory
+    dev = executor.device
+    return float(4.0 * mem.scattered_element_cycles + 4.0 * dev.alu_cycles)
+
+
+def edge_centric_maxmin(
+    graph: CSRGraph,
+    executor: GPUExecutor | None = None,
+    *,
+    seed: int = 0,
+    priority: str = "random",
+    max_iterations: int | None = None,
+) -> ColoringResult:
+    """Max-min coloring timed as edge-centric kernels.
+
+    Per sweep: an edge kernel over every directed edge incident to an
+    uncolored vertex (uniform O(1) items — zero divergence), then a
+    vertex decision kernel over the active set. Produces exactly the
+    coloring :func:`maxmin_coloring` produces for the same seed.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    priorities = make_priorities(graph, priority, seed=seed)
+    degrees = graph.degrees
+    iterations: list[IterationRecord] = []
+    total_cycles = 0.0
+    cap = max_iterations if max_iterations is not None else n + 1
+
+    uncolored = np.ones(n, dtype=bool)
+    k = 0
+    while uncolored.any():
+        if k >= cap:
+            break
+        active_ids = np.flatnonzero(uncolored)
+        pr_hi = np.where(uncolored, priorities, -np.inf)
+        pr_lo = np.where(uncolored, priorities, np.inf)
+        nbr_hi = neighbor_max(graph, pr_hi)
+        nbr_lo = neighbor_min(graph, pr_lo)
+        is_max = uncolored & (priorities > nbr_hi)
+        is_min = uncolored & (priorities < nbr_lo) & ~is_max
+        colors[is_max] = 2 * k
+        colors[is_min] = 2 * k + 1
+        newly = int(is_max.sum() + is_min.sum())
+        uncolored &= ~(is_max | is_min)
+
+        cycles = 0.0
+        eff = None
+        names = (f"ec_edges_it{k}", f"ec_decide_it{k}")
+        if executor is not None:
+            num_edge_items = int(degrees[active_ids].sum())
+            t1 = executor.time_uniform(
+                num_edge_items,
+                edge_kernel_cycles_per_item(executor),
+                traffic_elements=2.0 * num_edge_items,
+                name=names[0],
+            )
+            t2 = executor.time_uniform(
+                int(active_ids.size),
+                _vertex_decision_cycles(executor),
+                traffic_elements=4.0 * active_ids.size,
+                name=names[1],
+            )
+            cycles = t1.cycles + t2.cycles
+            eff = t1.simd_efficiency
+            total_cycles += cycles
+        iterations.append(
+            IterationRecord(
+                index=k,
+                active_vertices=int(active_ids.size),
+                newly_colored=newly,
+                cycles=cycles,
+                simd_efficiency=eff,
+                kernels=names,
+            )
+        )
+        k += 1
+
+    return ColoringResult(
+        algorithm="edge-centric-maxmin",
+        colors=compact_colors(colors),
+        iterations=iterations,
+        total_cycles=total_cycles,
+        device=executor.device if executor is not None else None,
+    )

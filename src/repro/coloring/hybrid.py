@@ -1,0 +1,130 @@
+"""The paper's hybrid designs.
+
+Two distinct "hybrid" ideas appear in the paper, both implemented here:
+
+1. **Hybrid mapping** — degree-binned kernels (low-degree vertices run
+   thread-per-vertex, high-degree run wavefront-per-vertex). That is a
+   property of the *execution engine*, not the algorithm:
+   :func:`hybrid_mapping_executor` builds the pre-configured
+   :class:`~repro.coloring.kernels.GPUExecutor` and any algorithm runs
+   under it unchanged.
+
+2. **Hybrid algorithm (algorithm switch)** — run max-min while the
+   active set is large (massive parallelism amortizes the sweeps), then
+   switch to speculative first-fit for the tail, where few active
+   vertices would otherwise pay many near-empty kernel launches.
+   :func:`hybrid_switch_coloring` implements the switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig
+from ..gpusim.memory import MemoryModel
+from .base import UNCOLORED, ColoringResult
+from .kernels import ExecutionConfig, GPUExecutor
+from .maxmin import compact_colors, maxmin_coloring
+from .speculative import speculative_rounds
+
+__all__ = ["hybrid_mapping_executor", "hybrid_switch_coloring"]
+
+
+def hybrid_mapping_executor(
+    device: DeviceConfig,
+    *,
+    degree_threshold: int = 64,
+    schedule: str = "grid",
+    workgroup_size: int = 256,
+    memory: MemoryModel | None = None,
+    **config_kwargs,
+) -> GPUExecutor:
+    """An execution engine with the degree-binned hybrid mapping.
+
+    ``degree_threshold`` is the bin boundary: vertices with degree below
+    it run one-lane-per-vertex, the rest cooperatively one wavefront
+    (grid schedule) or workgroup (persistent schedules) per vertex.
+    Experiment E7 sweeps this threshold.
+    """
+    cfg = ExecutionConfig(
+        mapping="hybrid",
+        schedule=schedule,
+        workgroup_size=workgroup_size,
+        degree_threshold=degree_threshold,
+        **config_kwargs,
+    )
+    return GPUExecutor(device, cfg, memory)
+
+
+def hybrid_switch_coloring(
+    graph: CSRGraph,
+    executor: GPUExecutor | None = None,
+    *,
+    seed: int = 0,
+    switch_fraction: float = 0.05,
+    switch_below: int | None = None,
+    max_iterations: int | None = None,
+) -> ColoringResult:
+    """Max-min for the bulk, speculative first-fit for the tail.
+
+    Parameters
+    ----------
+    switch_fraction:
+        Switch when the active set drops below this fraction of ``n``
+        (ignored when ``switch_below`` is given). ``0`` never switches
+        (pure max-min); ``1.0`` switches immediately (pure speculative).
+    switch_below:
+        Absolute active-set threshold overriding ``switch_fraction``.
+    """
+    if not 0.0 <= switch_fraction <= 1.0:
+        raise ValueError("switch_fraction must be in [0, 1]")
+    n = graph.num_vertices
+    if switch_below is not None:
+        threshold = int(switch_below)
+    elif switch_fraction >= 1.0:
+        threshold = n + 1  # even the full vertex set is "below" → immediate
+    else:
+        threshold = int(np.ceil(switch_fraction * n))
+
+    phase1 = maxmin_coloring(
+        graph,
+        executor,
+        seed=seed,
+        max_iterations=max_iterations,
+        stop_when_active_below=threshold,
+        compact=False,
+    )
+    colors = phase1.colors.copy()
+    remaining = np.flatnonzero(colors == UNCOLORED)
+    iterations = list(phase1.iterations)
+    total_cycles = phase1.total_cycles
+
+    if remaining.size:
+        rng = np.random.default_rng(seed + 1)
+        priorities = rng.permutation(n)
+        tail_iters, tail_cycles = speculative_rounds(
+            graph,
+            colors,
+            remaining,
+            priorities,
+            executor,
+            name_prefix="switch_spec",
+            start_index=len(iterations),
+            max_iterations=max_iterations,
+        )
+        iterations.extend(tail_iters)
+        total_cycles += tail_cycles
+
+    return ColoringResult(
+        algorithm="hybrid-switch",
+        colors=compact_colors(colors),
+        iterations=iterations,
+        total_cycles=total_cycles,
+        device=executor.device if executor is not None else None,
+        extras={
+            "switch_threshold": threshold,
+            "maxmin_iterations": len(phase1.iterations),
+            "tail_iterations": len(iterations) - len(phase1.iterations),
+        },
+    )

@@ -1,0 +1,152 @@
+"""Incremental coloring — maintain a proper coloring under graph growth.
+
+Downstream systems rarely color once: interference graphs grow as code
+is edited, social graphs as edges stream in. Rebuilding the coloring
+per update wastes the GPU run that produced it; this module maintains
+validity *incrementally* — new edges recolor (at most) one endpoint,
+new vertices take a first-fit color — and tracks how much repair work
+the update stream cost, so a user can decide when a full GPU re-color
+is worth it (see ``examples/streaming_updates.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .base import UNCOLORED, num_colors_used
+
+__all__ = ["IncrementalColoring"]
+
+
+class IncrementalColoring:
+    """A mutable graph + coloring that stays proper through updates.
+
+    Start from an existing graph/coloring (e.g. a GPU run's output) or
+    empty. ``add_edge`` repairs a conflict by first-fit recoloring the
+    endpoint whose repair is cheaper (smaller resulting color; ties by
+    lower degree). ``recolorings`` counts repairs since construction —
+    the signal for when to re-run the bulk colorer.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph | None = None,
+        colors: np.ndarray | None = None,
+    ) -> None:
+        if graph is None:
+            self._adj: list[set[int]] = []
+            self._colors: list[int] = []
+        else:
+            self._adj = [set(graph.neighbors(v).tolist()) for v in range(len(graph))]
+            if colors is None:
+                self._colors = [UNCOLORED] * len(graph)
+                for v in range(len(graph)):
+                    self._colors[v] = self._first_fit(v)
+            else:
+                arr = np.asarray(colors, dtype=np.int64)
+                if arr.shape != (len(graph),):
+                    raise ValueError("colors must have one entry per vertex")
+                from .base import validate_coloring
+
+                validate_coloring(graph, arr)
+                self._colors = arr.tolist()
+        self.recolorings = 0
+        self.edges_added = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._adj) // 2
+
+    @property
+    def colors(self) -> np.ndarray:
+        """Current coloring (copy)."""
+        return np.asarray(self._colors, dtype=np.int64)
+
+    @property
+    def num_colors(self) -> int:
+        return num_colors_used(self.colors)
+
+    def color_of(self, vertex: int) -> int:
+        self._check(vertex)
+        return int(self._colors[vertex])
+
+    def _check(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._adj):
+            raise IndexError(f"vertex {vertex} out of range")
+
+    def _first_fit(self, vertex: int) -> int:
+        used = {self._colors[w] for w in self._adj[vertex]}
+        c = 0
+        while c in used:
+            c += 1
+        return c
+
+    # ------------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Add an isolated vertex; returns its id (colored 0)."""
+        self._adj.append(set())
+        self._colors.append(0)
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``(u, v)``; returns True if a repair was needed.
+
+        On conflict, the endpoint with the cheaper first-fit repair
+        (smaller new color, ties by lower degree then higher id) is
+        recolored; the coloring stays proper by construction.
+        """
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if v in self._adj[u]:
+            return False  # already present, nothing to do
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self.edges_added += 1
+        if self._colors[u] != self._colors[v]:
+            return False
+        cu, cv = self._first_fit(u), self._first_fit(v)
+        key_u = (cu, len(self._adj[u]), -u)
+        key_v = (cv, len(self._adj[v]), -v)
+        if key_u <= key_v:
+            self._colors[u] = cu
+        else:
+            self._colors[v] = cv
+        self.recolorings += 1
+        return True
+
+    def add_edges(self, pairs) -> int:
+        """Insert many edges; returns the number of repairs performed."""
+        before = self.recolorings
+        for u, v in pairs:
+            self.add_edge(int(u), int(v))
+        return self.recolorings - before
+
+    # ------------------------------------------------------------------
+
+    def to_graph(self) -> CSRGraph:
+        """Snapshot the current structure as an immutable CSR graph."""
+        return CSRGraph.from_adjacency([sorted(s) for s in self._adj])
+
+    def is_valid(self) -> bool:
+        """Exhaustive validity check (for tests; updates keep it true)."""
+        return all(
+            self._colors[v] != self._colors[w]
+            for v in range(len(self._adj))
+            for w in self._adj[v]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalColoring(n={self.num_vertices}, m={self.num_edges}, "
+            f"colors={self.num_colors}, recolorings={self.recolorings})"
+        )

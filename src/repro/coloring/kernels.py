@@ -1,0 +1,476 @@
+"""Kernel cost builders + the GPU execution engine.
+
+This module is the bridge between the *algorithms* (which operate on
+real graph data and produce real colorings) and the *simulator* (which
+charges time). Each iteration of an iterative coloring algorithm hands
+the engine its active vertex set; the engine builds the corresponding
+kernel work distribution under a chosen **mapping** and **schedule** and
+returns the simulated cycles.
+
+Mappings (how vertices become SIMT work):
+
+* ``thread``   — one lane per vertex; a lane walks its own neighbor list
+  (scattered reads, cost linear in degree). The paper's baseline.
+* ``wavefront`` — one wavefront per vertex; 64 lanes stride one neighbor
+  list cooperatively (coalesced reads, ``ceil(d/64)`` lockstep steps +
+  a log-depth reduction).
+* ``hybrid``    — degree threshold splits vertices: low-degree →
+  ``thread``, high-degree → ``wavefront``. The paper's hybrid kernel.
+
+Schedules (how work reaches compute units):
+
+* ``grid``     — ordinary kernel launch; hardware greedy workgroup
+  dispatch (:func:`repro.gpusim.scheduler.dispatch`).
+* ``static``   — persistent workgroups, one per CU, each owning a static
+  contiguous slab of chunks.
+* ``dynamic``  — persistent workgroups fetching chunks from a global
+  atomic counter.
+* ``stealing`` — persistent workgroups with chunk deques and work
+  stealing (the paper's technique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.counters import ExecutionCounters
+from ..gpusim.device import DeviceConfig
+from ..gpusim.kernel import KernelSpec
+from ..gpusim.memory import MemoryModel
+from ..gpusim.scheduler import dispatch, dispatch_tasks
+from ..gpusim.wavefront import divergence_stats, simd_efficiency, wavefront_costs
+from ..loadbalance.dynamic import simulate_dynamic_fetch
+from ..loadbalance.partition import chunk_costs as _chunk_costs
+from ..loadbalance.partition import chunk_ranges, partition_by_threshold
+from ..loadbalance.workstealing import (
+    StealingConfig,
+    StealingResult,
+    simulate_static_persistent,
+    simulate_work_stealing,
+)
+
+__all__ = [
+    "MAPPINGS",
+    "SCHEDULES",
+    "CostModel",
+    "ExecutionConfig",
+    "IterationTiming",
+    "GPUExecutor",
+]
+
+MAPPINGS = ("thread", "wavefront", "hybrid")
+SCHEDULES = ("grid", "static", "dynamic", "stealing")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """First-order per-vertex kernel cost laws.
+
+    A coloring iteration's inner loop per vertex ``v`` of degree ``d``:
+    read own state (priority, color — a few scattered elements), scan
+    ``d`` neighbor ids (CSR ``indices``) and ``d`` neighbor states, and
+    do a couple of ALU ops per neighbor. The two mappings pay for the
+    same elements at different rates (scattered vs. streamed) — that
+    rate gap is the entire hybrid-mapping story.
+    """
+
+    device: DeviceConfig
+    memory: MemoryModel
+
+    #: scattered element reads per neighbor under the thread mapping
+    #: (one for the neighbor id, one for the neighbor's state)
+    reads_per_neighbor: float = 2.0
+    #: ALU ops per neighbor (compare + blend)
+    alu_per_neighbor: float = 2.0
+    #: fixed scattered elements per active vertex (own priority, color,
+    #: row offsets, result write)
+    fixed_reads: float = 4.0
+    #: fixed ALU ops per active vertex (loop setup, predicate)
+    fixed_alu: float = 8.0
+
+    def thread_vertex_cycles(self, degrees: np.ndarray) -> np.ndarray:
+        """Per-lane cost of one vertex under the thread mapping."""
+        d = np.asarray(degrees, dtype=np.float64)
+        per_nbr = (
+            self.reads_per_neighbor * self.memory.scattered_element_cycles
+            + self.alu_per_neighbor * self.device.alu_cycles
+        )
+        fixed = (
+            self.fixed_reads * self.memory.scattered_element_cycles
+            + self.fixed_alu * self.device.alu_cycles
+        )
+        return fixed + d * per_nbr
+
+    def coop_vertex_cycles(self, degrees: np.ndarray, lanes: int | None = None) -> np.ndarray:
+        """Cost of one vertex processed cooperatively by ``lanes`` lanes.
+
+        ``ceil(d / lanes)`` lockstep strides, each paying streamed reads
+        and ALU for one element per lane, plus two log-depth reductions
+        (max and min — the max-min kernel needs both; single-reduction
+        algorithms overpay by a few cycles, below model noise).
+        """
+        lanes = lanes or self.device.wavefront_size
+        d = np.asarray(degrees, dtype=np.float64)
+        steps = np.ceil(d / lanes)
+        per_step = (
+            self.reads_per_neighbor * self.memory.streamed_element_cycles
+            + self.alu_per_neighbor * self.device.alu_cycles
+        )
+        fixed = (
+            self.fixed_reads * self.memory.scattered_element_cycles
+            + self.fixed_alu * self.device.alu_cycles
+            + 2.0 * np.log2(lanes) * self.device.reduce_step_cycles
+        )
+        return fixed + steps * per_step
+
+    def traffic_elements(self, degrees: np.ndarray) -> float:
+        """Total 32-bit element accesses of one iteration's kernel."""
+        d = np.asarray(degrees, dtype=np.float64)
+        return float(
+            self.reads_per_neighbor * d.sum() + self.fixed_reads * d.size
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the kernels are mapped and scheduled.
+
+    ``chunk_size`` (vertices per work-stealing/dynamic chunk) must be a
+    multiple of ``workgroup_size`` under the thread mapping so chunks
+    align with lockstep rounds. ``sort_by_degree`` packs similar-degree
+    vertices into the same wavefront — a divergence-reducing layout
+    optimization analyzed as one of the paper's "important factors".
+    """
+
+    mapping: str = "thread"
+    schedule: str = "grid"
+    workgroup_size: int = 256
+    degree_threshold: int = 64
+    chunk_size: int = 256
+    sort_by_degree: bool = False
+    stealing: StealingConfig | None = None
+    persistent_groups_per_cu: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mapping not in MAPPINGS:
+            raise ValueError(f"mapping must be one of {MAPPINGS}")
+        if self.schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}")
+        if self.workgroup_size <= 0:
+            raise ValueError("workgroup_size must be positive")
+        if self.chunk_size <= 0 or self.chunk_size % self.workgroup_size:
+            raise ValueError("chunk_size must be a positive multiple of workgroup_size")
+        if self.degree_threshold < 1:
+            raise ValueError("degree_threshold must be >= 1")
+        if self.persistent_groups_per_cu < 1:
+            raise ValueError("persistent_groups_per_cu must be >= 1")
+
+
+@dataclass
+class IterationTiming:
+    """Simulated cost of one algorithm iteration's kernel work."""
+
+    cycles: float
+    simd_efficiency: float
+    kernels: tuple[str, ...] = ()
+    stealing: StealingResult | None = field(default=None, repr=False)
+    cu_busy: np.ndarray | None = field(default=None, repr=False)
+    bandwidth_bound: bool = False
+
+
+class GPUExecutor:
+    """Times coloring-iteration kernels under a mapping × schedule.
+
+    One executor instance is reused across all iterations of a run; it
+    owns the device, memory model, cost model, and configuration.
+    """
+
+    def __init__(
+        self,
+        device: DeviceConfig,
+        config: ExecutionConfig | None = None,
+        memory: MemoryModel | None = None,
+    ) -> None:
+        self.device = device
+        self.config = config or ExecutionConfig()
+        self.memory = memory or MemoryModel(device)
+        self.costs = CostModel(device, self.memory)
+        #: run-level profiling accumulated across every timed iteration;
+        #: call ``counters.reset()`` to start a new measurement window.
+        self.counters = ExecutionCounters()
+        if self.config.workgroup_size % device.wavefront_size:
+            raise ValueError(
+                "workgroup_size must be a multiple of the device wavefront size"
+            )
+        if self.config.workgroup_size > device.max_workgroup_size:
+            raise ValueError("workgroup_size exceeds device limit")
+
+    # ------------------------------------------------------------------
+
+    def time_iteration(
+        self, active_degrees: np.ndarray, *, name: str = "kernel"
+    ) -> IterationTiming:
+        """Simulated cycles to run one iteration over the active set.
+
+        ``active_degrees`` are the degrees of this round's active
+        vertices, in thread-id order (the engine may re-order them when
+        ``sort_by_degree`` is set — legal because an iteration kernel is
+        order-independent within the round).
+        """
+        deg = np.asarray(active_degrees, dtype=np.int64).ravel()
+        if deg.size == 0:
+            return IterationTiming(cycles=0.0, simd_efficiency=1.0)
+        if deg.min() < 0:
+            raise ValueError("degrees must be non-negative")
+        if self.config.sort_by_degree:
+            # Descending: packs similar degrees into the same wavefront
+            # (less divergence) *and* dispatches the heavy work first
+            # (LPT-style, shrinking the idle tail).
+            deg = np.sort(deg)[::-1]
+        if self.config.schedule == "grid":
+            timing = self._grid(deg, name)
+        else:
+            timing = self._persistent(deg, name)
+        self.counters.observe_kernel(
+            cycles=timing.cycles,
+            launch_cycles=self.device.launch_cycles,
+            bandwidth_bound=timing.bandwidth_bound,
+            traffic_elements=self.costs.traffic_elements(deg),
+            work_items=deg.size,
+            simd_efficiency=timing.simd_efficiency,
+        )
+        if timing.stealing is not None:
+            self.counters.observe_stealing(
+                attempts=timing.stealing.steal_attempts,
+                succeeded=timing.stealing.steals_succeeded,
+                migrated=timing.stealing.chunks_migrated,
+            )
+        return timing
+
+    def time_uniform(
+        self,
+        num_items: int,
+        cycles_per_item: float,
+        *,
+        traffic_elements: float = 0.0,
+        name: str = "uniform",
+    ) -> IterationTiming:
+        """Time a kernel of ``num_items`` identical work items.
+
+        The edge-centric kernels use this: uniform items never diverge,
+        so the only costs are raw throughput, the DRAM roofline, and the
+        launch. Uniform work gains nothing from work stealing, so every
+        schedule is timed as a plain grid launch.
+        """
+        if num_items < 0:
+            raise ValueError("num_items must be non-negative")
+        if cycles_per_item < 0:
+            raise ValueError("cycles_per_item must be non-negative")
+        if num_items == 0:
+            return IterationTiming(cycles=0.0, simd_efficiency=1.0)
+        dev = self.device
+        from ..gpusim.scheduler import dispatch_tasks
+        from ..gpusim.wavefront import num_wavefronts
+
+        n_wf = num_wavefronts(num_items, dev.wavefront_size)
+        tasks = np.full(n_wf, cycles_per_item, dtype=np.float64)
+        wf_per_group = self.config.workgroup_size // dev.wavefront_size
+        res = dispatch_tasks(
+            name,
+            tasks,
+            dev,
+            self.memory,
+            tasks_per_group=wf_per_group,
+            traffic_elements=traffic_elements,
+        )
+        # only the trailing partial wavefront idles lanes
+        eff = num_items / (n_wf * dev.wavefront_size)
+        timing = IterationTiming(
+            cycles=res.total_cycles,
+            simd_efficiency=eff,
+            kernels=(name,),
+            cu_busy=res.cu_busy,
+            bandwidth_bound=res.is_bandwidth_bound,
+        )
+        self.counters.observe_kernel(
+            cycles=timing.cycles,
+            launch_cycles=dev.launch_cycles,
+            bandwidth_bound=timing.bandwidth_bound,
+            traffic_elements=traffic_elements,
+            work_items=num_items,
+            simd_efficiency=eff,
+        )
+        return timing
+
+    # -- grid schedule --------------------------------------------------
+
+    def _grid(self, deg: np.ndarray, name: str) -> IterationTiming:
+        cfg, dev = self.config, self.device
+        traffic = self.costs.traffic_elements(deg)
+        if cfg.mapping == "thread":
+            spec = KernelSpec(
+                name=name,
+                item_cycles=self.costs.thread_vertex_cycles(deg),
+                workgroup_size=cfg.workgroup_size,
+                traffic_elements=traffic,
+            )
+            res = dispatch(spec, dev, self.memory)
+            return IterationTiming(
+                cycles=res.total_cycles,
+                simd_efficiency=res.divergence.simd_efficiency,
+                kernels=(name,),
+                cu_busy=res.cu_busy,
+                bandwidth_bound=res.is_bandwidth_bound,
+            )
+        if cfg.mapping == "wavefront":
+            tasks = self.costs.coop_vertex_cycles(deg)
+            res = dispatch_tasks(
+                name, tasks, dev, self.memory, traffic_elements=traffic
+            )
+            # Cooperative lanes idle only on the final partial stride.
+            eff = self._coop_efficiency(deg, dev.wavefront_size)
+            return IterationTiming(
+                cycles=res.total_cycles,
+                simd_efficiency=eff,
+                kernels=(name,),
+                cu_busy=res.cu_busy,
+                bandwidth_bound=res.is_bandwidth_bound,
+            )
+        # hybrid: one fused launch — low-degree lanes packed into
+        # wavefront tasks, high-degree vertices as cooperative tasks.
+        low, high = partition_by_threshold(deg, cfg.degree_threshold)
+        task_parts: list[np.ndarray] = []
+        if low.size:
+            lane = self.costs.thread_vertex_cycles(deg[low])
+            task_parts.append(wavefront_costs(lane, dev.wavefront_size))
+        if high.size:
+            task_parts.append(self.costs.coop_vertex_cycles(deg[high]))
+        tasks = np.concatenate(task_parts) if task_parts else np.empty(0)
+        div = (
+            divergence_stats(
+                self.costs.thread_vertex_cycles(deg[low]), dev.wavefront_size
+            )
+            if low.size
+            else None
+        )
+        res = dispatch_tasks(
+            name + "+coop",
+            tasks,
+            dev,
+            self.memory,
+            traffic_elements=self.costs.traffic_elements(deg),
+            divergence=div,
+        )
+        eff = div.simd_efficiency if div else self._coop_efficiency(deg, dev.wavefront_size)
+        return IterationTiming(
+            cycles=res.total_cycles,
+            simd_efficiency=eff,
+            kernels=(name + "+coop",),
+            cu_busy=res.cu_busy,
+            bandwidth_bound=res.is_bandwidth_bound,
+        )
+
+    @staticmethod
+    def _coop_efficiency(deg: np.ndarray, lanes: int) -> float:
+        """Lane utilization of cooperative strides (partial last stride)."""
+        d = np.asarray(deg, dtype=np.float64)
+        steps = np.maximum(np.ceil(d / lanes), 1.0)
+        return float(d.sum() / (steps.sum() * lanes)) if d.size else 1.0
+
+    # -- persistent schedules -------------------------------------------
+
+    def _persistent(self, deg: np.ndarray, name: str) -> IterationTiming:
+        cfg, dev = self.config, self.device
+        chunk_cyc, eff = self._chunk_cycles(deg)
+        workers = dev.num_cus * cfg.persistent_groups_per_cu
+        launch = dev.launch_cycles
+        if cfg.schedule == "static":
+            owner = self._static_owner(chunk_cyc.size, workers)
+            res = simulate_static_persistent(
+                chunk_cyc, owner, workers, pop_cycles=dev.atomic_cycles / 8.0
+            )
+        elif cfg.schedule == "dynamic":
+            res = simulate_dynamic_fetch(
+                chunk_cyc, workers, atomic_cycles=dev.atomic_cycles
+            )
+        else:  # stealing
+            owner = self._static_owner(chunk_cyc.size, workers)
+            steal_cfg = cfg.stealing or StealingConfig(
+                num_workers=workers,
+                steal_cycles=dev.steal_attempt_cycles,
+                pop_cycles=dev.atomic_cycles / 8.0,
+            )
+            if steal_cfg.num_workers != workers:
+                steal_cfg = StealingConfig(
+                    num_workers=workers,
+                    steal_cycles=steal_cfg.steal_cycles,
+                    pop_cycles=steal_cfg.pop_cycles,
+                    steal_policy=steal_cfg.steal_policy,
+                    steal_fraction=steal_cfg.steal_fraction,
+                    max_failed_attempts=steal_cfg.max_failed_attempts,
+                    seed=steal_cfg.seed,
+                )
+            res = simulate_work_stealing(chunk_cyc, owner, steal_cfg)
+        # Roofline still applies: the chunks move the same bytes.
+        bw = self.memory.bandwidth_floor_cycles(self.costs.traffic_elements(deg))
+        cycles = launch + max(res.makespan_cycles, bw)
+        return IterationTiming(
+            cycles=cycles,
+            simd_efficiency=eff,
+            kernels=(name,),
+            stealing=res,
+            cu_busy=res.busy_cycles,
+            bandwidth_bound=bw > res.makespan_cycles,
+        )
+
+    @staticmethod
+    def _static_owner(num_chunks: int, workers: int) -> np.ndarray:
+        """Contiguous-slab initial ownership (the OpenCL baseline)."""
+        if num_chunks == 0:
+            return np.empty(0, dtype=np.int64)
+        per = -(-num_chunks // workers)
+        return np.arange(num_chunks, dtype=np.int64) // per
+
+    def _chunk_cycles(self, deg: np.ndarray) -> tuple[np.ndarray, float]:
+        """Per-chunk execution cycles under the configured mapping.
+
+        A persistent workgroup executes a chunk in lockstep *rounds* of
+        ``workgroup_size`` lanes (its wavefronts run concurrently on the
+        CU's SIMDs, so a round costs its slowest lane). Under the hybrid
+        mapping, high-degree vertices are pulled out of the chunks and
+        appended as single-vertex cooperative chunks (processed by a
+        whole workgroup striding the neighbor list).
+        """
+        cfg, dev = self.config, self.device
+        wg = cfg.workgroup_size
+        if cfg.mapping == "thread":
+            lane = self.costs.thread_vertex_cycles(deg)
+            eff = simd_efficiency(lane, dev.wavefront_size)
+            rounds = wavefront_costs(lane, wg)
+            rounds_per_chunk = cfg.chunk_size // wg
+            ranges = chunk_ranges(rounds.size, rounds_per_chunk)
+            return _chunk_costs(rounds, ranges), eff
+        if cfg.mapping == "wavefront":
+            # one vertex per chunk round, whole workgroup cooperates
+            tasks = self.costs.coop_vertex_cycles(deg, lanes=wg)
+            eff = self._coop_efficiency(deg, wg)
+            per_chunk = max(1, cfg.chunk_size // wg)
+            ranges = chunk_ranges(tasks.size, per_chunk)
+            return _chunk_costs(tasks, ranges), eff
+        # hybrid
+        low, high = partition_by_threshold(deg, cfg.degree_threshold)
+        parts: list[np.ndarray] = []
+        eff_lane = None
+        if low.size:
+            lane = self.costs.thread_vertex_cycles(deg[low])
+            eff_lane = simd_efficiency(lane, dev.wavefront_size)
+            rounds = wavefront_costs(lane, wg)
+            ranges = chunk_ranges(rounds.size, cfg.chunk_size // wg)
+            parts.append(_chunk_costs(rounds, ranges))
+        if high.size:
+            parts.append(self.costs.coop_vertex_cycles(deg[high], lanes=wg))
+        chunks = np.concatenate(parts) if parts else np.empty(0)
+        eff = eff_lane if eff_lane is not None else self._coop_efficiency(deg, wg)
+        return chunks, eff

@@ -1,0 +1,146 @@
+"""Color-reduction post-passes.
+
+The GPU algorithms trade color count for parallelism (max-min most of
+all — two color indices per sweep). These post-passes claw the quality
+back after the fact, which is how production pipelines use fast parallel
+colorings:
+
+* :func:`recolor_greedy` — iterated greedy (Culberson): re-run greedy
+  first-fit visiting whole color classes in a chosen class order.
+  Re-coloring class-by-class can never increase the color count, and
+  ``largest_first``/``reverse`` orders usually decrease it.
+* :func:`balance_colors` — even out color-class sizes without adding
+  colors (move vertices to the smallest legal class), which matters when
+  classes become parallel sweep phases downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .base import UNCOLORED, ColoringResult, num_colors_used, validate_coloring
+from .maxmin import compact_colors
+
+__all__ = ["recolor_greedy", "balance_colors", "class_sizes"]
+
+
+def class_sizes(colors: np.ndarray) -> np.ndarray:
+    """Size of each color class (index = color)."""
+    arr = np.asarray(colors, dtype=np.int64)
+    used = arr[arr != UNCOLORED]
+    if used.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(used)
+
+
+def _class_order(colors: np.ndarray, strategy: str, rng: np.random.Generator) -> np.ndarray:
+    sizes = class_sizes(colors)
+    k = sizes.size
+    if strategy == "reverse":
+        return np.arange(k - 1, -1, -1, dtype=np.int64)
+    if strategy == "largest_first":
+        return np.argsort(-sizes, kind="stable").astype(np.int64)
+    if strategy == "smallest_first":
+        return np.argsort(sizes, kind="stable").astype(np.int64)
+    if strategy == "random":
+        return rng.permutation(k).astype(np.int64)
+    raise ValueError(f"unknown class-order strategy {strategy!r}")
+
+
+def recolor_greedy(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    *,
+    passes: int = 3,
+    strategy: str = "largest_first",
+    seed: int = 0,
+) -> ColoringResult:
+    """Iterated-greedy color reduction.
+
+    Each pass visits vertices grouped by color class (classes ordered by
+    ``strategy``) and greedily first-fit re-colors them. Because a whole
+    class is independent, visiting it as a block can only merge classes,
+    never split them — so the color count is non-increasing pass over
+    pass (Culberson's invariant).
+    """
+    validate_coloring(graph, colors)
+    if passes < 0:
+        raise ValueError("passes must be non-negative")
+    rng = np.random.default_rng(seed)
+    current = compact_colors(np.asarray(colors, dtype=np.int64))
+    indptr, indices = graph.indptr, graph.indices
+    history = [num_colors_used(current)]
+
+    for _ in range(passes):
+        order_of_class = _class_order(current, strategy, rng)
+        # visit sequence: classes in chosen order, members ascending
+        rank = np.empty(order_of_class.size, dtype=np.int64)
+        rank[order_of_class] = np.arange(order_of_class.size)
+        visit = np.lexsort((np.arange(current.size), rank[current]))
+        new = np.full(current.size, UNCOLORED, dtype=np.int64)
+        forbidden = np.full(graph.max_degree + 2, -1, dtype=np.int64)
+        for v in visit:
+            v = int(v)
+            nbr_colors = new[indices[indptr[v] : indptr[v + 1]]]
+            nbr_colors = nbr_colors[nbr_colors != UNCOLORED]
+            forbidden[nbr_colors] = v
+            c = 0
+            while forbidden[c] == v:
+                c += 1
+            new[v] = c
+        current = compact_colors(new)
+        history.append(num_colors_used(current))
+        if history[-1] == history[-2]:
+            break
+
+    result = ColoringResult(
+        algorithm=f"recolor-{strategy}",
+        colors=current,
+        extras={"colors_per_pass": history},
+    )
+    return result
+
+
+def balance_colors(graph: CSRGraph, colors: np.ndarray, *, rounds: int = 2) -> ColoringResult:
+    """Even out class sizes without increasing the color count.
+
+    Greedily moves vertices from over-full classes to the smallest class
+    legal for them. Downstream multicolor sweeps then get phases of
+    near-equal parallelism.
+    """
+    validate_coloring(graph, colors)
+    current = compact_colors(np.asarray(colors, dtype=np.int64))
+    k = num_colors_used(current)
+    if k == 0:
+        return ColoringResult(algorithm="balance-colors", colors=current)
+    indptr, indices = graph.indptr, graph.indices
+    for _ in range(rounds):
+        sizes = np.bincount(current, minlength=k).astype(np.int64)
+        target = current.size / k
+        moved = 0
+        # visit over-full classes' members, largest classes first
+        for v in np.argsort(-sizes[current], kind="stable"):
+            v = int(v)
+            c = int(current[v])
+            if sizes[c] <= target:
+                continue
+            nbr_colors = set(current[indices[indptr[v] : indptr[v + 1]]].tolist())
+            candidates = [
+                d for d in range(k) if d != c and d not in nbr_colors
+            ]
+            if not candidates:
+                continue
+            best = min(candidates, key=lambda d: sizes[d])
+            if sizes[best] + 1 < sizes[c]:
+                sizes[c] -= 1
+                sizes[best] += 1
+                current[v] = best
+                moved += 1
+        if moved == 0:
+            break
+    return ColoringResult(
+        algorithm="balance-colors",
+        colors=current,
+        extras={"final_sizes": np.bincount(current, minlength=k).tolist()},
+    )

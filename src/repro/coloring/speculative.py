@@ -1,0 +1,123 @@
+"""Speculative first-fit coloring (Gebremedhin–Manne style).
+
+The third GPU approach the paper characterizes: *optimistic* rather
+than independent-set based. Every active vertex first-fit colors itself
+in parallel against the current color array (kernel 1); a detection
+kernel then finds monochromatic edges and uncolors the lower-priority
+endpoint (kernel 2); the losers retry next round. Rounds shrink
+geometrically — few launches, but each round pays two kernels and the
+first round touches every vertex.
+
+:func:`speculative_rounds` runs the loop from an arbitrary starting
+state, which the algorithm-switch hybrid reuses to finish the
+low-parallelism tail left by max-min.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ._nbr import first_fit_colors
+from .base import UNCOLORED, ColoringResult, IterationRecord
+from .kernels import GPUExecutor
+
+__all__ = ["speculative_coloring", "speculative_rounds"]
+
+
+def speculative_rounds(
+    graph: CSRGraph,
+    colors: np.ndarray,
+    active: np.ndarray,
+    priorities: np.ndarray,
+    executor: GPUExecutor | None,
+    *,
+    name_prefix: str = "spec",
+    start_index: int = 0,
+    max_iterations: int | None = None,
+) -> tuple[list[IterationRecord], float]:
+    """Run speculate/resolve rounds in place until ``active`` drains.
+
+    ``colors`` is modified in place; already-colored vertices outside
+    ``active`` are respected (an active vertex never picks a stable
+    neighbor's color, so conflicts only arise between active vertices
+    and the invariant "stable set is conflict-free" is preserved).
+    Returns the per-round records and the total simulated cycles.
+    """
+    degrees = graph.degrees
+    edge_u, edge_v = graph.edge_array()
+    iterations: list[IterationRecord] = []
+    total_cycles = 0.0
+    cap = max_iterations if max_iterations is not None else graph.num_vertices + 1
+    k = 0
+    while active.size:
+        if k >= cap:
+            break
+        # Kernel 1: every active vertex speculatively first-fit colors
+        # itself against the snapshot (assignments land "simultaneously").
+        colors[active] = first_fit_colors(graph, colors, active)
+
+        # Kernel 2: conflict detection — a monochromatic edge uncolors
+        # its lower-priority endpoint (the loser retries next round).
+        same = (colors[edge_u] == colors[edge_v]) & (colors[edge_u] != UNCOLORED)
+        cu, cv = edge_u[same], edge_v[same]
+        losers = np.unique(np.where(priorities[cu] < priorities[cv], cu, cv))
+        colors[losers] = UNCOLORED
+
+        cycles = 0.0
+        eff = None
+        idx = start_index + k
+        names = (f"{name_prefix}_assign_it{idx}", f"{name_prefix}_detect_it{idx}")
+        if executor is not None:
+            t1 = executor.time_iteration(degrees[active], name=names[0])
+            t2 = executor.time_iteration(degrees[active], name=names[1])
+            cycles = t1.cycles + t2.cycles
+            eff = t1.simd_efficiency
+            total_cycles += cycles
+        iterations.append(
+            IterationRecord(
+                index=idx,
+                active_vertices=int(active.size),
+                newly_colored=int(active.size - losers.size),
+                cycles=cycles,
+                simd_efficiency=eff,
+                kernels=names,
+            )
+        )
+        active = losers
+        k += 1
+    return iterations, total_cycles
+
+
+def speculative_coloring(
+    graph: CSRGraph,
+    executor: GPUExecutor | None = None,
+    *,
+    seed: int = 0,
+    max_iterations: int | None = None,
+) -> ColoringResult:
+    """Color ``graph`` by speculate-then-resolve rounds.
+
+    Conflicts resolve by random priority (unique permutation), so the
+    highest-priority vertex of any conflict always keeps its color and
+    every round strictly shrinks the active set.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    priorities = rng.permutation(n)
+    iterations, total_cycles = speculative_rounds(
+        graph,
+        colors,
+        np.arange(n, dtype=np.int64),
+        priorities,
+        executor,
+        max_iterations=max_iterations,
+    )
+    return ColoringResult(
+        algorithm="speculative",
+        colors=colors,
+        iterations=iterations,
+        total_cycles=total_cycles,
+        device=executor.device if executor is not None else None,
+    )

@@ -1,0 +1,115 @@
+"""Run-level performance counters.
+
+Real GPU profiling reads hardware counters per kernel and aggregates
+them over a run; :class:`ExecutionCounters` is the simulator's
+equivalent. The execution engine updates it on every timed iteration, so
+after a coloring run you can ask where the time went — kernel launches
+vs. compute vs. the DRAM roofline, how much steal traffic the run paid,
+and the achieved bandwidth — the raw material of the paper's
+"important factors affecting performance" analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import DeviceConfig
+
+__all__ = ["ExecutionCounters"]
+
+
+@dataclass
+class ExecutionCounters:
+    """Accumulated counters across a run's kernel launches."""
+
+    kernels_launched: int = 0
+    launch_cycles: float = 0.0
+    compute_cycles: float = 0.0  # makespan portion attributed to compute
+    bandwidth_bound_kernels: int = 0
+    total_cycles: float = 0.0
+    traffic_elements: float = 0.0
+    work_items: int = 0
+    steal_attempts: int = 0
+    steals_succeeded: int = 0
+    chunks_migrated: int = 0
+    _eff_weighted: float = field(default=0.0, repr=False)
+    _eff_weight: float = field(default=0.0, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def observe_kernel(
+        self,
+        *,
+        cycles: float,
+        launch_cycles: float,
+        bandwidth_bound: bool,
+        traffic_elements: float,
+        work_items: int,
+        simd_efficiency: float | None = None,
+    ) -> None:
+        """Record one kernel launch's outcome."""
+        self.kernels_launched += 1
+        self.total_cycles += cycles
+        self.launch_cycles += launch_cycles
+        self.compute_cycles += max(cycles - launch_cycles, 0.0)
+        if bandwidth_bound:
+            self.bandwidth_bound_kernels += 1
+        self.traffic_elements += traffic_elements
+        self.work_items += int(work_items)
+        if simd_efficiency is not None and work_items > 0:
+            self._eff_weighted += simd_efficiency * work_items
+            self._eff_weight += work_items
+
+    def observe_stealing(
+        self, *, attempts: int, succeeded: int, migrated: int
+    ) -> None:
+        """Record one persistent-kernel iteration's steal traffic."""
+        self.steal_attempts += attempts
+        self.steals_succeeded += succeeded
+        self.chunks_migrated += migrated
+
+    def reset(self) -> None:
+        """Zero every counter (start a new measurement window)."""
+        fresh = ExecutionCounters()
+        for name in fresh.__dataclass_fields__:
+            setattr(self, name, getattr(fresh, name))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def launch_overhead_fraction(self) -> float:
+        """Share of total cycles spent in kernel launch/drain."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.launch_cycles / self.total_cycles
+
+    @property
+    def mean_simd_efficiency(self) -> float:
+        """Work-item-weighted SIMD efficiency across launches."""
+        if self._eff_weight == 0:
+            return 1.0
+        return self._eff_weighted / self._eff_weight
+
+    @property
+    def steal_success_rate(self) -> float:
+        if self.steal_attempts == 0:
+            return 0.0
+        return self.steals_succeeded / self.steal_attempts
+
+    def achieved_bandwidth_gbps(self, device: DeviceConfig, element_bytes: int = 4) -> float:
+        """Effective DRAM bandwidth over the run (useful bytes only)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        seconds = device.cycles_to_ms(self.total_cycles) * 1e-3
+        return self.traffic_elements * element_bytes / seconds / 1e9
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "kernels": self.kernels_launched,
+            "total_cycles": round(self.total_cycles, 1),
+            "launch_%": round(100 * self.launch_overhead_fraction, 1),
+            "bw_bound": self.bandwidth_bound_kernels,
+            "simd_eff": round(self.mean_simd_efficiency, 3),
+            "work_items": self.work_items,
+            "steals": self.steals_succeeded,
+        }

@@ -1,0 +1,206 @@
+"""Detailed CU model — event-driven wavefront interleaving.
+
+The main dispatcher (:mod:`repro.gpusim.scheduler`) uses a first-order
+cost law (lockstep max + greedy dispatch). This module implements a
+*finer* model to validate it against: each wavefront alternates compute
+quanta and memory requests; a SIMD keeps several wavefronts resident
+and issues whichever is ready (round-robin), so memory latency is
+hidden exactly to the extent residency allows — no latency-hiding
+*assumption*, hiding *emerges* from the interleaving.
+
+It is ~1000× slower than the first-order model, so it's used for
+cross-checks (experiment E15: do the two models rank configurations the
+same way?) rather than inside the algorithm loops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceConfig
+
+__all__ = [
+    "DetailedParams",
+    "DetailedResult",
+    "simulate_cu_detailed",
+    "detailed_dispatch",
+    "thread_kernel_decomposition",
+]
+
+
+def thread_kernel_decomposition(cost_model, degrees) -> tuple[np.ndarray, np.ndarray]:
+    """Split a thread-mapped kernel into (issue cycles, memory accesses).
+
+    The first-order :class:`~repro.coloring.kernels.CostModel` folds
+    memory stalls into per-element charges; the detailed model wants
+    them separate — pure issue work (ALU + access *issue*) per item plus
+    the access count whose latency the interleaving will (or won't)
+    hide.
+    """
+    d = np.asarray(degrees, dtype=np.float64)
+    accesses = cost_model.fixed_reads + cost_model.reads_per_neighbor * d
+    issue = (
+        cost_model.fixed_alu * cost_model.device.alu_cycles
+        + cost_model.alu_per_neighbor * cost_model.device.alu_cycles * d
+        + cost_model.device.coalesced_access_cycles * accesses
+    )
+    return issue, accesses
+
+
+@dataclass(frozen=True)
+class DetailedParams:
+    """Timing constants of the detailed model."""
+
+    mem_latency_cycles: float = 350.0
+    #: resident wavefronts per SIMD (the occupancy actually achieved)
+    resident_waves_per_simd: int = 8
+    #: memory-level parallelism: independent outstanding loads per wave;
+    #: a wave's effective stall per access is ``latency / mlp``
+    mlp: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mem_latency_cycles < 0:
+            raise ValueError("mem_latency_cycles must be non-negative")
+        if self.resident_waves_per_simd < 1:
+            raise ValueError("resident_waves_per_simd must be >= 1")
+        if self.mlp < 1:
+            raise ValueError("mlp must be >= 1")
+
+    @property
+    def effective_latency(self) -> float:
+        return self.mem_latency_cycles / self.mlp
+
+
+@dataclass(frozen=True)
+class DetailedResult:
+    """Outcome of a detailed simulation."""
+
+    cycles: float
+    issue_busy_cycles: float  # cycles the SIMDs spent issuing compute
+    stall_cycles: float  # cycles all resident waves were waiting on memory
+    pipes: int = 1  # pipes the busy/stall totals are summed over
+
+    @property
+    def issue_utilization(self) -> float:
+        if self.cycles <= 0:
+            return 1.0
+        return self.issue_busy_cycles / (self.cycles * self.pipes)
+
+
+def simulate_cu_detailed(
+    wave_compute: np.ndarray,
+    wave_accesses: np.ndarray,
+    params: DetailedParams,
+) -> DetailedResult:
+    """Simulate one SIMD pipe running a queue of wavefronts.
+
+    ``wave_compute[i]`` is wavefront *i*'s total compute (issue) cycles;
+    ``wave_accesses[i]`` its number of memory round-trips. Each wave
+    alternates ``compute/(accesses+1)`` quanta with memory requests of
+    ``mem_latency_cycles``; up to ``resident_waves_per_simd`` waves are
+    resident, and the pipe issues any ready wave (FIFO among ready).
+    """
+    comp = np.asarray(wave_compute, dtype=np.float64).ravel()
+    acc = np.asarray(wave_accesses, dtype=np.int64).ravel()
+    if comp.shape != acc.shape:
+        raise ValueError("wave arrays must align")
+    if comp.size and (comp.min() < 0 or acc.min() < 0):
+        raise ValueError("wave costs must be non-negative")
+    n = comp.size
+    if n == 0:
+        return DetailedResult(0.0, 0.0, 0.0)
+
+    # per-wave: quantum length and remaining phase count
+    quanta = comp / (acc + 1)
+    phases_left = (2 * acc + 1).astype(np.int64)  # compute,mem,...,compute
+
+    next_to_admit = 0
+    ready: list[int] = []  # waves ready to issue (FIFO)
+    returns: list[tuple[float, int]] = []  # (time, wave) memory completions
+    resident = 0
+    now = 0.0
+    issue_busy = 0.0
+    stall = 0.0
+    done = 0
+
+    while done < n:
+        # admit while there is room
+        while resident < params.resident_waves_per_simd and next_to_admit < n:
+            ready.append(next_to_admit)
+            next_to_admit += 1
+            resident += 1
+        if ready:
+            w = ready.pop(0)
+            q = quanta[w]
+            now += q
+            issue_busy += q
+            phases_left[w] -= 1
+            # release memory returns that completed during the quantum
+            while returns and returns[0][0] <= now:
+                _, back = heapq.heappop(returns)
+                ready.append(back)
+            if phases_left[w] == 0:
+                resident -= 1
+                done += 1
+            else:
+                # issue the memory request; wave sleeps for the latency
+                phases_left[w] -= 1
+                if phases_left[w] == 0:  # ended on a memory phase
+                    resident -= 1
+                    done += 1
+                else:
+                    heapq.heappush(returns, (now + params.effective_latency, w))
+            continue
+        if returns:
+            # every resident wave is waiting on memory: stall to the
+            # first completion
+            t, back = heapq.heappop(returns)
+            stall += max(t - now, 0.0)
+            now = max(now, t)
+            ready.append(back)
+            continue
+        break  # defensive: nothing ready, nothing returning
+    return DetailedResult(cycles=now, issue_busy_cycles=issue_busy, stall_cycles=stall)
+
+
+def detailed_dispatch(
+    item_compute: np.ndarray,
+    item_accesses: np.ndarray,
+    device: DeviceConfig,
+    params: DetailedParams | None = None,
+) -> DetailedResult:
+    """Detailed makespan of one kernel on the whole device.
+
+    Items fold into wavefronts by lockstep max (compute) / max
+    (accesses); wavefronts split round-robin over all SIMD pipes, each
+    pipe simulated in detail; the kernel ends when the slowest pipe
+    does.
+    """
+    params = params or DetailedParams()
+    comp = np.asarray(item_compute, dtype=np.float64).ravel()
+    acc = np.asarray(item_accesses, dtype=np.float64).ravel()
+    if comp.shape != acc.shape:
+        raise ValueError("item arrays must align")
+    if comp.size == 0:
+        return DetailedResult(0.0, 0.0, 0.0)
+    from .wavefront import wavefront_costs
+
+    wf_comp = wavefront_costs(comp, device.wavefront_size)
+    wf_acc = wavefront_costs(acc, device.wavefront_size).astype(np.int64)
+
+    pipes = device.num_pipes
+    used = min(pipes, wf_comp.size)
+    total_cycles = 0.0
+    busy = 0.0
+    stall = 0.0
+    for p in range(used):
+        res = simulate_cu_detailed(wf_comp[p::pipes], wf_acc[p::pipes], params)
+        total_cycles = max(total_cycles, res.cycles)
+        busy += res.issue_busy_cycles
+        stall += res.stall_cycles
+    return DetailedResult(
+        cycles=total_cycles, issue_busy_cycles=busy, stall_cycles=stall, pipes=used
+    )

@@ -1,0 +1,218 @@
+"""GPU machine model — configuration and cost constants.
+
+The simulator charges time in *cycles* from a small set of first-order
+cost constants. The point is not cycle accuracy (the paper's absolute
+numbers came from real hardware) but preserving the cost *structure*
+that creates load imbalance:
+
+* SIMT lockstep: a wavefront takes as long as its slowest lane.
+* CSR traversal cost is linear in degree for a thread-per-vertex lane,
+  but ``ceil(degree / wavefront)`` lockstep steps for a cooperative
+  wavefront-per-vertex mapping with coalesced reads.
+* Uncoalesced lane-private accesses cost several× a coalesced line.
+* Kernel launches, atomics, and steal operations all carry fixed
+  overheads that the optimization techniques must amortize.
+
+:data:`RADEON_HD_7950` encodes the paper's evaluation machine (Tahiti).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceConfig",
+    "RADEON_HD_7950",
+    "RADEON_R9_290X",
+    "CPU_8CORE",
+    "SMALL_TEST_DEVICE",
+    "named_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """A SIMT device described by its parallelism and cost constants.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    num_cus:
+        Number of compute units.
+    simd_per_cu:
+        Wavefront pipes per compute unit (GCN has 4 SIMD-16 units; each
+        executes one wavefront's instruction per 4 cycles — folded into
+        the per-op constants).
+    wavefront_size:
+        Lanes per wavefront (64 on GCN).
+    max_workgroup_size:
+        Largest workgroup the device accepts (256 on GCN).
+    clock_mhz:
+        Engine clock; converts cycles to milliseconds.
+    dram_bandwidth_gbps:
+        Peak DRAM bandwidth; imposes a roofline floor on kernel time.
+    alu_cycles:
+        Cycles charged per scalar ALU operation on a lane.
+    coalesced_access_cycles:
+        Amortized cycles for one lane's element when the whole wavefront
+        reads a contiguous cache line (latency mostly hidden by
+        multithreading — this is the *issue* cost).
+    uncoalesced_access_cycles:
+        Amortized cycles for a lane-private scattered element, where each
+        lane touches a different line (the thread-per-vertex CSR pattern).
+    atomic_cycles:
+        Cycles for one global atomic (CAS / fetch-add) including typical
+        contention.
+    lds_access_cycles:
+        Local (shared) memory access cost per element.
+    kernel_launch_us:
+        Host-side launch + drain overhead per kernel, microseconds. This
+        is what the paper's iterative algorithms pay per round and what
+        persistent kernels avoid.
+    steal_attempt_cycles:
+        Cost of one steal attempt (remote deque probe + CAS) in the
+        work-stealing runtime.
+    reduce_step_cycles:
+        Cost per step of a log2(wavefront) intra-wavefront reduction.
+    """
+
+    name: str = "generic-gcn"
+    num_cus: int = 28
+    simd_per_cu: int = 4
+    wavefront_size: int = 64
+    max_workgroup_size: int = 256
+    clock_mhz: float = 925.0
+    dram_bandwidth_gbps: float = 240.0
+
+    alu_cycles: float = 1.0
+    coalesced_access_cycles: float = 4.0
+    uncoalesced_access_cycles: float = 16.0
+    atomic_cycles: float = 64.0
+    lds_access_cycles: float = 2.0
+    kernel_launch_us: float = 8.0
+    steal_attempt_cycles: float = 400.0
+    reduce_step_cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_cus <= 0 or self.simd_per_cu <= 0:
+            raise ValueError("num_cus and simd_per_cu must be positive")
+        if self.wavefront_size <= 0 or self.wavefront_size & (self.wavefront_size - 1):
+            raise ValueError("wavefront_size must be a positive power of two")
+        if self.max_workgroup_size % self.wavefront_size:
+            raise ValueError("max_workgroup_size must be a multiple of wavefront_size")
+        if self.clock_mhz <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pipes(self) -> int:
+        """Total concurrent wavefront pipes on the device."""
+        return self.num_cus * self.simd_per_cu
+
+    @property
+    def cycle_ns(self) -> float:
+        """Nanoseconds per cycle."""
+        return 1e3 / self.clock_mhz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at the engine clock."""
+        return float(cycles) * self.cycle_ns * 1e-6
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Convert milliseconds to cycles at the engine clock."""
+        return float(ms) * 1e6 / self.cycle_ns
+
+    @property
+    def launch_cycles(self) -> float:
+        """Kernel launch overhead expressed in cycles."""
+        return self.kernel_launch_us * 1e3 / self.cycle_ns
+
+    def bandwidth_cycles(self, total_bytes: float) -> float:
+        """Cycles needed to move ``total_bytes`` at peak DRAM bandwidth."""
+        seconds = total_bytes / (self.dram_bandwidth_gbps * 1e9)
+        return seconds * self.clock_mhz * 1e6
+
+    def with_overrides(self, **kwargs) -> "DeviceConfig":
+        """A copy with some fields replaced (for ablations/sweeps)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's evaluation GPU: AMD Radeon HD 7950 ("Tahiti Pro", GCN 1.0).
+#: 28 compute units, 64-lane wavefronts, 4 SIMDs/CU, 925 MHz core clock,
+#: 240 GB/s GDDR5 — public specifications.
+RADEON_HD_7950 = DeviceConfig(
+    name="AMD Radeon HD 7950 (Tahiti)",
+    num_cus=28,
+    simd_per_cu=4,
+    wavefront_size=64,
+    max_workgroup_size=256,
+    clock_mhz=925.0,
+    dram_bandwidth_gbps=240.0,
+)
+
+#: Its bigger sibling: AMD Radeon R9 290X ("Hawaii", GCN 2), 44 CUs,
+#: 1 GHz, 320 GB/s — the follow-on part, for scaling studies.
+RADEON_R9_290X = DeviceConfig(
+    name="AMD Radeon R9 290X (Hawaii)",
+    num_cus=44,
+    simd_per_cu=4,
+    wavefront_size=64,
+    max_workgroup_size=256,
+    clock_mhz=1000.0,
+    dram_bandwidth_gbps=320.0,
+)
+
+#: A multicore-CPU-shaped device for GPU-vs-CPU shape comparisons:
+#: 8 "CUs" (cores), one pipe each, 8-lane SIMD (AVX-ish), high clock,
+#: modest bandwidth, cheap irregular access (big caches), no kernel
+#: launches to speak of, and fast atomics.
+CPU_8CORE = DeviceConfig(
+    name="generic 8-core CPU (AVX2-ish)",
+    num_cus=8,
+    simd_per_cu=1,
+    wavefront_size=8,
+    max_workgroup_size=8,
+    clock_mhz=3600.0,
+    dram_bandwidth_gbps=50.0,
+    alu_cycles=1.0,
+    coalesced_access_cycles=2.0,
+    uncoalesced_access_cycles=5.0,
+    atomic_cycles=20.0,
+    lds_access_cycles=1.0,
+    kernel_launch_us=0.5,
+    steal_attempt_cycles=120.0,
+)
+
+#: A deliberately tiny device for unit tests: 2 CUs × 1 pipe, 4-lane
+#: wavefronts, so schedules are small enough to check by hand.
+SMALL_TEST_DEVICE = DeviceConfig(
+    name="small-test-device",
+    num_cus=2,
+    simd_per_cu=1,
+    wavefront_size=4,
+    max_workgroup_size=8,
+    clock_mhz=1000.0,
+    dram_bandwidth_gbps=100.0,
+)
+
+_NAMED = {
+    "hd7950": RADEON_HD_7950,
+    "radeon-hd-7950": RADEON_HD_7950,
+    "tahiti": RADEON_HD_7950,
+    "r9-290x": RADEON_R9_290X,
+    "hawaii": RADEON_R9_290X,
+    "cpu8": CPU_8CORE,
+    "small": SMALL_TEST_DEVICE,
+}
+
+
+def named_device(name: str) -> DeviceConfig:
+    """Look up a preset device by name (case-insensitive)."""
+    try:
+        return _NAMED[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(_NAMED)}"
+        ) from None

@@ -1,0 +1,124 @@
+"""Kernel abstraction: a launch's work distribution and its simulated result.
+
+A :class:`KernelSpec` is what a cost builder (``repro.coloring.kernels``)
+produces for one GPU kernel launch: a per-work-item cycle array plus the
+kernel's total memory traffic. The dispatcher
+(:func:`repro.gpusim.scheduler.dispatch`) turns it into a
+:class:`KernelResult` with the makespan, per-CU busy times, divergence
+statistics, and the roofline decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import DeviceConfig
+from .wavefront import DivergenceStats
+
+__all__ = ["KernelSpec", "KernelResult"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel launch's work, before scheduling.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (shows up in traces and reports).
+    item_cycles:
+        Per-work-item cost in cycles. Item ``i`` executes on lane
+        ``i % wavefront_size`` of wavefront ``i // wavefront_size`` —
+        i.e. the array order *is* the thread-id order, so callers
+        control lane assignment by ordering this array.
+    workgroup_size:
+        Threads per workgroup (must be a multiple of the wavefront size
+        at dispatch time).
+    traffic_elements:
+        Total 32-bit element accesses the kernel makes, for the DRAM
+        bandwidth roofline. 0 disables the roofline for this kernel.
+    """
+
+    name: str
+    item_cycles: np.ndarray
+    workgroup_size: int = 256
+    traffic_elements: float = 0.0
+
+    def __post_init__(self) -> None:
+        cycles = np.ascontiguousarray(self.item_cycles, dtype=np.float64)
+        if cycles.ndim != 1:
+            raise ValueError("item_cycles must be 1-D")
+        if cycles.size and cycles.min() < 0:
+            raise ValueError("item costs must be non-negative")
+        if self.workgroup_size <= 0:
+            raise ValueError("workgroup_size must be positive")
+        if self.traffic_elements < 0:
+            raise ValueError("traffic_elements must be non-negative")
+        object.__setattr__(self, "item_cycles", cycles)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.item_cycles.size)
+
+    def num_workgroups(self) -> int:
+        return -(-self.num_items // self.workgroup_size)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of dispatching one :class:`KernelSpec` on a device.
+
+    ``total_cycles = launch_cycles + max(compute_cycles, bandwidth_cycles)``
+    — the kernel is either compute/imbalance bound or bandwidth bound.
+    """
+
+    name: str
+    device: DeviceConfig
+    compute_cycles: float
+    bandwidth_cycles: float
+    launch_cycles: float
+    workgroup_cycles: np.ndarray = field(repr=False)
+    cu_busy: np.ndarray = field(repr=False)
+    divergence: DivergenceStats | None = field(repr=False, default=None)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.launch_cycles + max(self.compute_cycles, self.bandwidth_cycles)
+
+    @property
+    def time_ms(self) -> float:
+        return self.device.cycles_to_ms(self.total_cycles)
+
+    @property
+    def is_bandwidth_bound(self) -> bool:
+        return self.bandwidth_cycles > self.compute_cycles
+
+    @property
+    def cu_occupancy(self) -> float:
+        """Mean CU utilization over the compute makespan (0..1)."""
+        if self.compute_cycles <= 0:
+            return 1.0
+        return float(self.cu_busy.mean() / self.compute_cycles)
+
+    @property
+    def load_imbalance(self) -> float:
+        """``max(CU busy) / mean(CU busy)`` — 1.0 is perfect balance."""
+        mean = float(self.cu_busy.mean())
+        if mean == 0:
+            return 1.0
+        return float(self.cu_busy.max() / mean)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "kernel": self.name,
+            "time_ms": round(self.time_ms, 4),
+            "cycles": round(self.total_cycles, 1),
+            "bw_bound": self.is_bandwidth_bound,
+            "occupancy": round(self.cu_occupancy, 3),
+            "imbalance": round(self.load_imbalance, 3),
+            "simd_eff": round(self.divergence.simd_efficiency, 3)
+            if self.divergence
+            else None,
+        }

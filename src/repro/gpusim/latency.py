@@ -1,0 +1,110 @@
+"""Latency-hiding model — how occupancy turns into throughput.
+
+A CU hides memory latency by switching among resident wavefronts: while
+one waits on DRAM, others issue ALU work. With enough resident waves
+the pipes stay full; with few (register/LDS-heavy kernels) the CU
+stalls. The classic first-order model:
+
+    utilization = min(1, resident_waves / waves_needed)
+    waves_needed ≈ 1 + memory_latency / compute_cycles_between_accesses
+
+This module provides that model and a helper that folds an
+:func:`~repro.gpusim.occupancy.occupancy` result into an effective
+slowdown factor — connecting the occupancy calculator to kernel time,
+which is what the workgroup-size/register-pressure factor experiment
+(E13) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceConfig
+from .occupancy import OccupancyLimits, OccupancyReport, occupancy
+
+__all__ = ["LatencyModel", "HidingReport", "latency_hiding"]
+
+#: Default DRAM round-trip latency in cycles (GCN-era ballpark).
+DEFAULT_MEM_LATENCY_CYCLES = 350.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Parameters of the latency-hiding estimate."""
+
+    mem_latency_cycles: float = DEFAULT_MEM_LATENCY_CYCLES
+    #: ALU cycles a wavefront issues between consecutive memory accesses
+    compute_per_access_cycles: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.mem_latency_cycles <= 0 or self.compute_per_access_cycles <= 0:
+            raise ValueError("latency-model parameters must be positive")
+
+    @property
+    def waves_needed_per_simd(self) -> float:
+        """Resident waves per SIMD needed to fully hide the latency."""
+        return 1.0 + self.mem_latency_cycles / self.compute_per_access_cycles
+
+    def utilization(self, resident_waves_per_simd: float) -> float:
+        """Fraction of peak issue rate achieved at a given residency."""
+        if resident_waves_per_simd < 0:
+            raise ValueError("resident waves must be non-negative")
+        if resident_waves_per_simd == 0:
+            return 0.0
+        return min(1.0, resident_waves_per_simd / self.waves_needed_per_simd)
+
+    def slowdown(self, resident_waves_per_simd: float) -> float:
+        """Multiplier on kernel time relative to full occupancy (≥ 1)."""
+        u = self.utilization(resident_waves_per_simd)
+        if u == 0:
+            raise ValueError("zero residency cannot make progress")
+        full = self.utilization(1e9)
+        return full / u
+
+
+@dataclass(frozen=True)
+class HidingReport:
+    """Occupancy + latency hiding for one kernel configuration."""
+
+    occupancy: OccupancyReport
+    waves_per_simd: float
+    utilization: float
+    slowdown: float
+
+    def as_row(self) -> dict[str, object]:
+        row = self.occupancy.as_row()
+        row.update(
+            {
+                "waves_per_simd": round(self.waves_per_simd, 2),
+                "utilization": round(self.utilization, 3),
+                "slowdown": round(self.slowdown, 2),
+            }
+        )
+        return row
+
+
+def latency_hiding(
+    device: DeviceConfig,
+    *,
+    workgroup_size: int = 256,
+    vgprs_per_lane: int = 32,
+    lds_per_workgroup: int = 0,
+    model: LatencyModel | None = None,
+    limits: OccupancyLimits | None = None,
+) -> HidingReport:
+    """End-to-end: kernel resources → occupancy → throughput slowdown."""
+    model = model or LatencyModel()
+    occ = occupancy(
+        device,
+        workgroup_size=workgroup_size,
+        vgprs_per_lane=vgprs_per_lane,
+        lds_per_workgroup=lds_per_workgroup,
+        limits=limits,
+    )
+    waves_per_simd = occ.waves_per_cu / device.simd_per_cu
+    return HidingReport(
+        occupancy=occ,
+        waves_per_simd=waves_per_simd,
+        utilization=model.utilization(waves_per_simd),
+        slowdown=model.slowdown(waves_per_simd) if waves_per_simd > 0 else float("inf"),
+    )

@@ -1,0 +1,109 @@
+"""Occupancy calculator — how many wavefronts a CU can keep resident.
+
+GPU latency hiding depends on *occupancy*: the number of wavefronts a
+compute unit can hold concurrently, limited by whichever resource a
+workgroup exhausts first — vector registers, local data share (LDS), or
+the hardware wave-slot/workgroup caps. This calculator mirrors the GCN
+rules for the paper's Tahiti chip and reports the limiting resource, the
+classic tuning question behind workgroup-size choices (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceConfig
+
+__all__ = ["OccupancyLimits", "OccupancyReport", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-CU resource budgets (defaults = GCN 1.0 / Tahiti).
+
+    ``vgprs_per_simd`` counts register *file entries per lane slot*
+    (256 VGPRs addressable per lane, 64 KB file per SIMD); LDS is shared
+    by the whole CU.
+    """
+
+    max_waves_per_simd: int = 10
+    vgprs_per_simd: int = 256  # addressable VGPRs per lane; file = 256 × 64 lanes
+    lds_per_cu_bytes: int = 65536
+    max_workgroups_per_cu: int = 16
+
+    def __post_init__(self) -> None:
+        if min(
+            self.max_waves_per_simd,
+            self.vgprs_per_simd,
+            self.lds_per_cu_bytes,
+            self.max_workgroups_per_cu,
+        ) <= 0:
+            raise ValueError("all limits must be positive")
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy outcome for one kernel configuration."""
+
+    waves_per_cu: int
+    workgroups_per_cu: int
+    occupancy: float  # waves / (simd_per_cu * max_waves_per_simd)
+    limiter: str  # "vgpr" | "lds" | "wave_slots" | "workgroup_slots"
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "waves_per_cu": self.waves_per_cu,
+            "wg_per_cu": self.workgroups_per_cu,
+            "occupancy": round(self.occupancy, 3),
+            "limiter": self.limiter,
+        }
+
+
+def occupancy(
+    device: DeviceConfig,
+    *,
+    workgroup_size: int = 256,
+    vgprs_per_lane: int = 32,
+    lds_per_workgroup: int = 0,
+    limits: OccupancyLimits | None = None,
+) -> OccupancyReport:
+    """Resident waves per CU for a kernel configuration.
+
+    Applies each resource cap in turn (wave slots, registers, LDS,
+    workgroup slots) and reports the binding one. ``vgprs_per_lane = 0``
+    is rejected — every kernel uses registers.
+    """
+    limits = limits or OccupancyLimits()
+    if workgroup_size <= 0 or workgroup_size % device.wavefront_size:
+        raise ValueError("workgroup_size must be a positive wavefront multiple")
+    if workgroup_size > device.max_workgroup_size:
+        raise ValueError("workgroup_size exceeds the device maximum")
+    if vgprs_per_lane <= 0:
+        raise ValueError("vgprs_per_lane must be positive")
+    if vgprs_per_lane > limits.vgprs_per_simd:
+        raise ValueError("kernel needs more registers than the file holds")
+    if lds_per_workgroup < 0 or lds_per_workgroup > limits.lds_per_cu_bytes:
+        raise ValueError("lds_per_workgroup out of range")
+
+    waves_per_group = workgroup_size // device.wavefront_size
+    hard_wave_cap = device.simd_per_cu * limits.max_waves_per_simd
+
+    # candidate caps expressed in workgroups per CU
+    caps: dict[str, int] = {}
+    caps["wave_slots"] = hard_wave_cap // waves_per_group
+    caps["vgpr"] = (
+        (limits.vgprs_per_simd // vgprs_per_lane) * device.simd_per_cu
+    ) // waves_per_group
+    caps["workgroup_slots"] = limits.max_workgroups_per_cu
+    if lds_per_workgroup > 0:
+        caps["lds"] = limits.lds_per_cu_bytes // lds_per_workgroup
+
+    limiter = min(caps, key=lambda k: (caps[k], k))
+    groups = max(caps[limiter], 0)
+    waves = min(groups * waves_per_group, hard_wave_cap)
+    return OccupancyReport(
+        waves_per_cu=waves,
+        workgroups_per_cu=groups,
+        occupancy=waves / hard_wave_cap,
+        limiter=limiter if groups > 0 else limiter,
+    )

@@ -1,0 +1,203 @@
+"""Hardware-style dispatch — two-level greedy scheduling.
+
+Real GCN hardware dispatches *workgroups* to compute units as CUs free
+up, in launch order; within a CU, the workgroup's wavefronts spread over
+the CU's SIMD pipes. That two-level structure is the model here:
+
+1. per-item costs → lockstep wavefront costs (``max`` over lanes);
+2. consecutive wavefronts form a workgroup; the workgroup's cost is the
+   makespan of packing its wavefronts greedily (in order) onto
+   ``simd_per_cu`` pipes — when a 256-thread workgroup has exactly 4
+   wavefronts on a 4-SIMD CU this is just their max;
+3. workgroup costs are greedily list-scheduled onto the CUs.
+
+Greedy dispatch load-balances at *workgroup* granularity — it cannot fix
+intra-wavefront divergence (a single monster lane still stalls its 63
+siblings, which is what the hybrid mapping attacks), and it still leaves
+an idle tail when late workgroups are heavy (which is what work stealing
+at finer chunk granularity attacks).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .device import DeviceConfig
+from .kernel import KernelResult, KernelSpec
+from .memory import MemoryModel
+from .trace import Timeline
+from .wavefront import divergence_stats, wavefront_costs
+
+__all__ = [
+    "greedy_schedule",
+    "workgroup_costs",
+    "dispatch",
+    "dispatch_tasks",
+    "dispatch_sequence",
+]
+
+
+def greedy_schedule(
+    task_cycles: np.ndarray,
+    num_pipes: int,
+    *,
+    timeline: Timeline | None = None,
+    tag: str = "",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy earliest-available list scheduling, in task order.
+
+    Returns ``(assignment, pipe_busy)`` where ``assignment[i]`` is the
+    pipe task ``i`` ran on and ``pipe_busy[p]`` the total busy cycles of
+    pipe ``p``. Makespan is ``pipe_busy.max()`` because greedy dispatch
+    leaves no holes (each pipe runs its tasks back-to-back).
+    """
+    costs = np.asarray(task_cycles, dtype=np.float64).ravel()
+    if num_pipes <= 0:
+        raise ValueError("num_pipes must be positive")
+    if costs.size and costs.min() < 0:
+        raise ValueError("task costs must be non-negative")
+    assignment = np.empty(costs.size, dtype=np.int64)
+    busy = np.zeros(num_pipes, dtype=np.float64)
+    # (available_time, pipe) heap; pipe index tie-breaks deterministically.
+    heap: list[tuple[float, int]] = [(0.0, p) for p in range(num_pipes)]
+    heapq.heapify(heap)
+    for i, cost in enumerate(costs):
+        start, pipe = heapq.heappop(heap)
+        end = start + cost
+        assignment[i] = pipe
+        busy[pipe] += cost
+        if timeline is not None:
+            timeline.record(pipe, start, end, tag or f"t{i}")
+        heapq.heappush(heap, (end, pipe))
+    return assignment, busy
+
+
+def workgroup_costs(
+    wavefront_cycles: np.ndarray, wf_per_group: int, simd_per_cu: int
+) -> np.ndarray:
+    """Cost of each workgroup: its wavefronts packed onto the CU's pipes.
+
+    Consecutive groups of ``wf_per_group`` wavefronts form a workgroup.
+    With ``wf_per_group <= simd_per_cu`` every wavefront has its own
+    pipe, so the group costs its slowest wavefront. Larger groups pack
+    greedily in order (vectorized across groups, looping only over the
+    within-group position).
+    """
+    if wf_per_group <= 0 or simd_per_cu <= 0:
+        raise ValueError("group and pipe counts must be positive")
+    wf = np.asarray(wavefront_cycles, dtype=np.float64).ravel()
+    if wf.size == 0:
+        return np.empty(0, dtype=np.float64)
+    num_groups = -(-wf.size // wf_per_group)
+    padded = np.zeros(num_groups * wf_per_group, dtype=np.float64)
+    padded[: wf.size] = wf
+    grid = padded.reshape(num_groups, wf_per_group)
+    if wf_per_group <= simd_per_cu:
+        return grid.max(axis=1)
+    pipes = np.zeros((num_groups, simd_per_cu), dtype=np.float64)
+    for col in range(wf_per_group):
+        idx = np.argmin(pipes, axis=1)
+        pipes[np.arange(num_groups), idx] += grid[:, col]
+    return pipes.max(axis=1)
+
+
+def dispatch(
+    spec: KernelSpec,
+    device: DeviceConfig,
+    memory: MemoryModel | None = None,
+    *,
+    timeline: Timeline | None = None,
+) -> KernelResult:
+    """Simulate one thread-mapped kernel launch on ``device``.
+
+    Pipeline: per-item costs → lockstep wavefront costs → workgroup
+    costs → greedy workgroup dispatch onto the CUs → makespan, compared
+    against the DRAM roofline, plus the fixed launch overhead.
+    """
+    if spec.workgroup_size % device.wavefront_size:
+        raise ValueError(
+            f"workgroup_size {spec.workgroup_size} must be a multiple of "
+            f"wavefront_size {device.wavefront_size}"
+        )
+    wf = wavefront_costs(spec.item_cycles, device.wavefront_size)
+    wf_per_group = spec.workgroup_size // device.wavefront_size
+    wg = workgroup_costs(wf, wf_per_group, device.simd_per_cu)
+    return _finish(
+        spec.name,
+        wg,
+        device,
+        memory,
+        spec.traffic_elements,
+        divergence_stats(spec.item_cycles, device.wavefront_size),
+        timeline,
+    )
+
+
+def dispatch_tasks(
+    name: str,
+    task_cycles: np.ndarray,
+    device: DeviceConfig,
+    memory: MemoryModel | None = None,
+    *,
+    tasks_per_group: int | None = None,
+    traffic_elements: float = 0.0,
+    divergence: "divergence_stats | None" = None,
+    timeline: Timeline | None = None,
+) -> KernelResult:
+    """Dispatch pre-aggregated *wavefront tasks* (cooperative kernels).
+
+    ``task_cycles[i]`` is the cost of one whole-wavefront task (e.g. one
+    high-degree vertex processed cooperatively). Tasks group into
+    workgroups of ``tasks_per_group`` (default: one per SIMD pipe) and
+    dispatch exactly like :func:`dispatch`. Lane-level divergence stats
+    are not derivable from task costs; pass ``divergence`` if the caller
+    has them.
+    """
+    tasks = np.asarray(task_cycles, dtype=np.float64).ravel()
+    group = tasks_per_group or device.simd_per_cu
+    wg = workgroup_costs(tasks, group, device.simd_per_cu)
+    return _finish(name, wg, device, memory, traffic_elements, divergence, timeline)
+
+
+def _finish(
+    name: str,
+    wg_cycles: np.ndarray,
+    device: DeviceConfig,
+    memory: MemoryModel | None,
+    traffic_elements: float,
+    divergence,
+    timeline: Timeline | None,
+) -> KernelResult:
+    memory = memory or MemoryModel(device)
+    _, busy = greedy_schedule(wg_cycles, device.num_cus, timeline=timeline, tag=name)
+    compute = float(busy.max()) if busy.size else 0.0
+    bandwidth = (
+        memory.bandwidth_floor_cycles(traffic_elements) if traffic_elements else 0.0
+    )
+    return KernelResult(
+        name=name,
+        device=device,
+        compute_cycles=compute,
+        bandwidth_cycles=bandwidth,
+        launch_cycles=device.launch_cycles,
+        workgroup_cycles=wg_cycles,
+        cu_busy=busy,
+        divergence=divergence,
+    )
+
+
+def dispatch_sequence(
+    specs: list[KernelSpec],
+    device: DeviceConfig,
+    memory: MemoryModel | None = None,
+) -> tuple[float, list[KernelResult]]:
+    """Run dependent kernels back-to-back (one iteration's launches).
+
+    Returns ``(total_cycles, results)``; the kernels serialize, each
+    paying its own launch overhead — exactly the per-iteration cost
+    structure of the iterative coloring algorithms.
+    """
+    results = [dispatch(s, device, memory) for s in specs]
+    return sum(r.total_cycles for r in results), results

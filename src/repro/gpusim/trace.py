@@ -1,0 +1,99 @@
+"""Execution timelines — per-pipe Gantt data for the imbalance figures.
+
+The paper's load-imbalance analysis shows *when* each compute unit is
+busy: under static mapping a few CUs run long after the rest idle;
+work stealing flattens the profile. :class:`Timeline` records the
+scheduled intervals so experiments E5/E6 can report per-CU busy time
+and the idle tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Timeline"]
+
+
+@dataclass
+class Timeline:
+    """Append-only record of ``(pipe, start, end, tag)`` intervals."""
+
+    num_pipes: int
+    _pipes: list[int] = field(default_factory=list, repr=False)
+    _starts: list[float] = field(default_factory=list, repr=False)
+    _ends: list[float] = field(default_factory=list, repr=False)
+    _tags: list[str] = field(default_factory=list, repr=False)
+
+    def record(self, pipe: int, start: float, end: float, tag: str = "") -> None:
+        """Append one execution interval."""
+        if not 0 <= pipe < self.num_pipes:
+            raise ValueError(f"pipe {pipe} out of range [0, {self.num_pipes})")
+        if end < start:
+            raise ValueError("interval must have end >= start")
+        self._pipes.append(int(pipe))
+        self._starts.append(float(start))
+        self._ends.append(float(end))
+        self._tags.append(tag)
+
+    def __len__(self) -> int:
+        return len(self._pipes)
+
+    @property
+    def pipes(self) -> np.ndarray:
+        return np.asarray(self._pipes, dtype=np.int64)
+
+    @property
+    def starts(self) -> np.ndarray:
+        return np.asarray(self._starts, dtype=np.float64)
+
+    @property
+    def ends(self) -> np.ndarray:
+        return np.asarray(self._ends, dtype=np.float64)
+
+    @property
+    def tags(self) -> list[str]:
+        return list(self._tags)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Latest interval end (0 for an empty timeline)."""
+        return float(max(self._ends, default=0.0))
+
+    def busy_per_pipe(self) -> np.ndarray:
+        """Total busy cycles per pipe."""
+        busy = np.zeros(self.num_pipes, dtype=np.float64)
+        if self._pipes:
+            np.add.at(busy, self.pipes, self.ends - self.starts)
+        return busy
+
+    def idle_tail_per_pipe(self) -> np.ndarray:
+        """Cycles each pipe idles between its last interval and makespan.
+
+        This is the tail-idle metric: large values on most pipes mean a
+        few stragglers hold the whole device hostage.
+        """
+        last_end = np.zeros(self.num_pipes, dtype=np.float64)
+        if self._pipes:
+            np.maximum.at(last_end, self.pipes, self.ends)
+        return self.makespan - last_end
+
+    def utilization(self) -> float:
+        """Busy area / (num_pipes × makespan), in [0, 1]."""
+        span = self.makespan
+        if span == 0:
+            return 1.0
+        return float(self.busy_per_pipe().sum() / (self.num_pipes * span))
+
+    def intervals_for(self, pipe: int) -> list[tuple[float, float, str]]:
+        """All ``(start, end, tag)`` intervals of one pipe, time order."""
+        rows = [
+            (s, e, t)
+            for p, s, e, t in zip(self._pipes, self._starts, self._ends, self._tags)
+            if p == pipe
+        ]
+        rows.sort()
+        return rows

@@ -1,0 +1,122 @@
+"""Mutable graph builder — assemble a CSR graph incrementally.
+
+:class:`~repro.graphs.csr.CSRGraph` is immutable by design (kernels take
+read-only views). When a graph arrives edge-by-edge — a parser, a
+generator with rejection steps, a mutation loop in a test —
+:class:`GraphBuilder` buffers the stream and normalizes once at
+:meth:`GraphBuilder.build`, amortizing the dedupe/symmetrize cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Buffered, chunked edge accumulator.
+
+    ``add_edge`` appends to Python lists; every ``flush_at`` edges the
+    buffer is folded into compact numpy blocks so memory stays bounded
+    for long streams. Self-loops and duplicates are permitted on input
+    and removed at :meth:`build`.
+    """
+
+    def __init__(self, num_vertices: int = 0, *, flush_at: int = 1 << 16) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        if flush_at <= 0:
+            raise ValueError("flush_at must be positive")
+        self._n = int(num_vertices)
+        self._flush_at = int(flush_at)
+        self._blocks_u: list[np.ndarray] = []
+        self._blocks_v: list[np.ndarray] = []
+        self._buf_u: list[int] = []
+        self._buf_v: list[int] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_buffered_edges(self) -> int:
+        """Edge records accepted so far (pre-dedupe)."""
+        return self._count
+
+    def add_vertex(self) -> int:
+        """Reserve a new vertex id."""
+        self._n += 1
+        return self._n - 1
+
+    def ensure_vertex(self, vertex: int) -> None:
+        """Grow the vertex range to include ``vertex``."""
+        if vertex < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self._n = max(self._n, vertex + 1)
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Record an undirected edge (endpoints auto-grow the range)."""
+        if u < 0 or v < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self.ensure_vertex(max(u, v))
+        self._buf_u.append(int(u))
+        self._buf_v.append(int(v))
+        self._count += 1
+        if len(self._buf_u) >= self._flush_at:
+            self._flush()
+        return self
+
+    def add_edges(self, pairs: Iterable[tuple[int, int]]) -> "GraphBuilder":
+        """Record many edges."""
+        for u, v in pairs:
+            self.add_edge(int(u), int(v))
+        return self
+
+    def add_edge_arrays(self, u: np.ndarray, v: np.ndarray) -> "GraphBuilder":
+        """Record parallel endpoint arrays (the fast path)."""
+        uu = np.asarray(u, dtype=np.int64).ravel()
+        vv = np.asarray(v, dtype=np.int64).ravel()
+        if uu.shape != vv.shape:
+            raise ValueError("endpoint arrays must align")
+        if uu.size:
+            if min(uu.min(), vv.min()) < 0:
+                raise ValueError("vertex ids must be non-negative")
+            self._n = max(self._n, int(max(uu.max(), vv.max())) + 1)
+            self._blocks_u.append(uu.copy())
+            self._blocks_v.append(vv.copy())
+            self._count += uu.size
+        return self
+
+    def _flush(self) -> None:
+        if self._buf_u:
+            self._blocks_u.append(np.asarray(self._buf_u, dtype=np.int64))
+            self._blocks_v.append(np.asarray(self._buf_v, dtype=np.int64))
+            self._buf_u.clear()
+            self._buf_v.clear()
+
+    # ------------------------------------------------------------------
+
+    def build(self, *, num_vertices: int | None = None) -> CSRGraph:
+        """Normalize everything recorded so far into a CSR graph.
+
+        The builder remains usable afterwards (building is
+        non-destructive); ``num_vertices`` may widen the vertex range.
+        """
+        self._flush()
+        n = self._n if num_vertices is None else max(self._n, int(num_vertices))
+        if not self._blocks_u:
+            return CSRGraph.empty(n)
+        u = np.concatenate(self._blocks_u)
+        v = np.concatenate(self._blocks_v)
+        return CSRGraph.from_edges(u, v, num_vertices=n)
+
+    def __repr__(self) -> str:
+        return f"GraphBuilder(n={self._n}, buffered_edges={self._count})"

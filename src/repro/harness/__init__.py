@@ -1,0 +1,39 @@
+"""Workload harness: the dataset suite and shared run helpers."""
+
+from .runner import (
+    CPU_ALGORITHMS,
+    GPU_ALGORITHMS,
+    baseline_executor,
+    make_executor,
+    run_cpu_coloring,
+    run_gpu_coloring,
+)
+from .suite import SCALES, SUITE, DatasetSpec, build, suite_names, summarize_suite
+from .autotune import TuneOutcome, autotune, candidate_configs
+from .batch import BatchJob, run_batch, save_rows_csv, save_rows_json
+from .sweeps import grid_points, sweep, sweep1d
+
+__all__ = [
+    "CPU_ALGORITHMS",
+    "GPU_ALGORITHMS",
+    "baseline_executor",
+    "make_executor",
+    "run_cpu_coloring",
+    "run_gpu_coloring",
+    "SCALES",
+    "SUITE",
+    "DatasetSpec",
+    "build",
+    "suite_names",
+    "summarize_suite",
+    "grid_points",
+    "sweep",
+    "sweep1d",
+    "TuneOutcome",
+    "autotune",
+    "candidate_configs",
+    "BatchJob",
+    "run_batch",
+    "save_rows_csv",
+    "save_rows_json",
+]

@@ -1,0 +1,108 @@
+"""Run helpers shared by benchmarks, examples, and the CLI.
+
+One place that knows how to assemble an execution engine from option
+strings, run any algorithm under it, validate the coloring, and produce
+comparison rows — so every benchmark stays a thin declaration of *what*
+to run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..coloring.base import ColoringResult
+from ..coloring.edge_centric import edge_centric_maxmin
+from ..coloring.hybrid import hybrid_switch_coloring
+from ..coloring.partitioned import partitioned_coloring
+from ..coloring.jones_plassmann import jones_plassmann_coloring
+from ..coloring.kernels import ExecutionConfig, GPUExecutor
+from ..coloring.maxmin import maxmin_coloring
+from ..coloring.sequential import dsatur, greedy_first_fit, smallest_last, welsh_powell
+from ..coloring.speculative import speculative_coloring
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import RADEON_HD_7950, DeviceConfig
+from ..gpusim.memory import MemoryModel
+
+__all__ = [
+    "GPU_ALGORITHMS",
+    "CPU_ALGORITHMS",
+    "make_executor",
+    "run_gpu_coloring",
+    "run_cpu_coloring",
+    "baseline_executor",
+]
+
+#: GPU algorithms: name → callable(graph, executor, seed=...) → ColoringResult.
+GPU_ALGORITHMS: dict[str, Callable[..., ColoringResult]] = {
+    "maxmin": maxmin_coloring,
+    "jp": jones_plassmann_coloring,
+    "speculative": speculative_coloring,
+    "hybrid-switch": hybrid_switch_coloring,
+    "edge-centric": edge_centric_maxmin,
+    "partitioned": partitioned_coloring,
+}
+
+#: CPU reference algorithms: name → callable(graph) → ColoringResult.
+CPU_ALGORITHMS: dict[str, Callable[[CSRGraph], ColoringResult]] = {
+    "greedy": lambda g: greedy_first_fit(g, order="natural"),
+    "greedy-random": lambda g: greedy_first_fit(g, order="random"),
+    "welsh-powell": welsh_powell,
+    "smallest-last": smallest_last,
+    "dsatur": dsatur,
+}
+
+
+def make_executor(
+    device: DeviceConfig = RADEON_HD_7950,
+    *,
+    mapping: str = "thread",
+    schedule: str = "grid",
+    memory: MemoryModel | None = None,
+    **config_kwargs,
+) -> GPUExecutor:
+    """Build an execution engine from plain option values."""
+    cfg = ExecutionConfig(mapping=mapping, schedule=schedule, **config_kwargs)
+    return GPUExecutor(device, cfg, memory)
+
+
+def baseline_executor(device: DeviceConfig = RADEON_HD_7950) -> GPUExecutor:
+    """The paper's baseline configuration: thread-per-vertex grid kernel."""
+    return make_executor(device, mapping="thread", schedule="grid")
+
+
+def run_gpu_coloring(
+    graph: CSRGraph,
+    algorithm: str = "maxmin",
+    executor: GPUExecutor | None = None,
+    *,
+    seed: int = 0,
+    validate: bool = True,
+    **kwargs,
+) -> ColoringResult:
+    """Run a GPU algorithm (timed when ``executor`` given) and validate."""
+    try:
+        fn = GPU_ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU algorithm {algorithm!r}; known: {sorted(GPU_ALGORITHMS)}"
+        ) from None
+    result = fn(graph, executor, seed=seed, **kwargs)
+    if validate:
+        result.validate(graph)
+    return result
+
+
+def run_cpu_coloring(
+    graph: CSRGraph, algorithm: str = "greedy", *, validate: bool = True
+) -> ColoringResult:
+    """Run a sequential reference algorithm and validate."""
+    try:
+        fn = CPU_ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU algorithm {algorithm!r}; known: {sorted(CPU_ALGORITHMS)}"
+        ) from None
+    result = fn(graph)
+    if validate:
+        result.validate(graph)
+    return result

@@ -1,0 +1,62 @@
+"""Parameter-sweep utilities shared by the factor benchmarks and the CLI.
+
+A sweep is "run the same measurement at every point of a grid". These
+helpers keep the bench files declarative: define the grid, get back
+tidy rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["grid_points", "sweep", "sweep1d"]
+
+
+def grid_points(grid: Mapping[str, Sequence]) -> list[dict[str, object]]:
+    """Cartesian product of a parameter grid, as kwargs dicts.
+
+    ``grid_points({"a": [1, 2], "b": "xy"})`` →
+    ``[{"a": 1, "b": "x"}, {"a": 1, "b": "y"}, …]`` (row-major in key
+    order).
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid.keys())
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(list(grid[k]) for k in keys))
+    ]
+
+
+def sweep(
+    measure: Callable[..., Mapping[str, object] | float],
+    grid: Mapping[str, Sequence],
+) -> list[dict[str, object]]:
+    """Run ``measure(**point)`` at every grid point.
+
+    Each row contains the point's parameters plus the measurement —
+    merged in if ``measure`` returns a mapping, else under ``"value"``.
+    """
+    rows = []
+    for point in grid_points(grid):
+        out = measure(**point)
+        row = dict(point)
+        if isinstance(out, Mapping):
+            overlap = set(row) & set(out)
+            if overlap:
+                raise ValueError(f"measurement keys collide with parameters: {overlap}")
+            row.update(out)
+        else:
+            row["value"] = out
+        rows.append(row)
+    return rows
+
+
+def sweep1d(
+    measure: Callable[[object], float],
+    name: str,
+    values: Iterable,
+) -> list[dict[str, object]]:
+    """One-dimensional sweep: ``[{name: v, "value": measure(v)}, …]``."""
+    return [{name: v, "value": measure(v)} for v in values]

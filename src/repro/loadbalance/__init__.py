@@ -1,0 +1,34 @@
+"""Load-balancing techniques: static partitioning, dynamic fetch, stealing."""
+
+from .donation import DonationConfig, simulate_work_donation
+from .dynamic import simulate_dynamic_fetch
+from .partition import (
+    chunk_costs,
+    chunk_ranges,
+    cost_balanced_partition,
+    degree_bins,
+    partition_by_threshold,
+    static_partition,
+)
+from .workstealing import (
+    StealingConfig,
+    StealingResult,
+    simulate_static_persistent,
+    simulate_work_stealing,
+)
+
+__all__ = [
+    "DonationConfig",
+    "simulate_work_donation",
+    "simulate_dynamic_fetch",
+    "chunk_costs",
+    "chunk_ranges",
+    "cost_balanced_partition",
+    "degree_bins",
+    "partition_by_threshold",
+    "static_partition",
+    "StealingConfig",
+    "StealingResult",
+    "simulate_static_persistent",
+    "simulate_work_stealing",
+]

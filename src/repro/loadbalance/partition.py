@@ -1,0 +1,124 @@
+"""Static work partitioning — chunking, balanced splits, degree binning.
+
+These are the *static* answers to load imbalance that the paper's
+baseline and hybrid techniques use:
+
+* :func:`chunk_ranges` / :func:`static_partition` — the baseline
+  persistent-kernel assignment (each workgroup owns a contiguous slab).
+* :func:`cost_balanced_partition` — contiguous slabs balanced by a
+  per-item cost estimate (degree), the "smart static" variant.
+* :func:`degree_bins` / :func:`partition_by_threshold` — split vertices
+  into low/high-degree classes for the hybrid mapping, where low-degree
+  vertices run thread-per-vertex and high-degree ones run
+  wavefront-per-vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "chunk_ranges",
+    "static_partition",
+    "cost_balanced_partition",
+    "partition_by_threshold",
+    "degree_bins",
+    "chunk_costs",
+]
+
+
+def chunk_ranges(num_items: int, chunk_size: int) -> np.ndarray:
+    """Split ``range(num_items)`` into chunks; returns ``(k, 2)`` ranges.
+
+    Every chunk is ``[start, end)``; the last may be short.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    starts = np.arange(0, num_items, chunk_size, dtype=np.int64)
+    ends = np.minimum(starts + chunk_size, num_items)
+    return np.stack([starts, ends], axis=1)
+
+
+def static_partition(num_items: int, num_workers: int) -> np.ndarray:
+    """Contiguous equal-count slabs, one per worker; ``(w, 2)`` ranges.
+
+    Early workers get the remainder items, matching the usual
+    ``(n + w - 1) // w`` OpenCL slabbing.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    base, extra = divmod(num_items, num_workers)
+    sizes = np.full(num_workers, base, dtype=np.int64)
+    sizes[:extra] += 1
+    ends = np.cumsum(sizes)
+    starts = ends - sizes
+    return np.stack([starts, ends], axis=1)
+
+
+def cost_balanced_partition(costs: np.ndarray, num_workers: int) -> np.ndarray:
+    """Contiguous slabs with near-equal total *cost* per worker.
+
+    Splits the prefix-sum of ``costs`` at equal fractions. Guarantees
+    monotone, covering ranges (some may be empty if costs are spiky).
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    c = np.asarray(costs, dtype=np.float64).ravel()
+    if c.size and c.min() < 0:
+        raise ValueError("costs must be non-negative")
+    n = c.size
+    if n == 0:
+        return np.zeros((num_workers, 2), dtype=np.int64)
+    prefix = np.concatenate([[0.0], np.cumsum(c)])
+    total = prefix[-1]
+    if total == 0:
+        return static_partition(n, num_workers)
+    targets = total * np.arange(1, num_workers, dtype=np.float64) / num_workers
+    cuts = np.searchsorted(prefix[1:], targets, side="left") + 1
+    bounds = np.concatenate([[0], np.minimum(cuts, n), [n]])
+    bounds = np.maximum.accumulate(bounds)
+    return np.stack([bounds[:-1], bounds[1:]], axis=1)
+
+
+def partition_by_threshold(
+    degrees: np.ndarray, threshold: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vertex ids with degree < ``threshold`` vs. degree >= ``threshold``.
+
+    The hybrid mapping's split: the first array runs thread-per-vertex,
+    the second wavefront-per-vertex.
+    """
+    deg = np.asarray(degrees)
+    ids = np.arange(deg.size, dtype=np.int64)
+    low = deg < threshold
+    return ids[low], ids[~low]
+
+
+def degree_bins(degrees: np.ndarray, boundaries: np.ndarray | list[int]) -> np.ndarray:
+    """Bin index per vertex: bin ``i`` holds ``boundaries[i-1] <= d < boundaries[i]``.
+
+    ``boundaries`` must be strictly increasing; values below the first
+    boundary go to bin 0, values at/above the last to bin ``len(boundaries)``.
+    """
+    b = np.asarray(boundaries, dtype=np.int64)
+    if b.size == 0:
+        raise ValueError("need at least one boundary")
+    if np.any(np.diff(b) <= 0):
+        raise ValueError("boundaries must be strictly increasing")
+    return np.searchsorted(b, np.asarray(degrees), side="right").astype(np.int64)
+
+
+def chunk_costs(item_costs: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """Total cost per ``[start, end)`` chunk (vectorized prefix-sum)."""
+    c = np.asarray(item_costs, dtype=np.float64).ravel()
+    r = np.asarray(ranges, dtype=np.int64)
+    if r.ndim != 2 or r.shape[1] != 2:
+        raise ValueError("ranges must be (k, 2)")
+    if r.size and (r.min() < 0 or r.max() > c.size or np.any(r[:, 0] > r[:, 1])):
+        raise ValueError("ranges out of bounds or inverted")
+    prefix = np.concatenate([[0.0], np.cumsum(c)])
+    return prefix[r[:, 1]] - prefix[r[:, 0]]

@@ -1,0 +1,244 @@
+"""Work-stealing runtime — persistent workgroups with chunk deques.
+
+This is the paper's first load-imbalance technique. The GPU realization
+(task queues in global memory, one deque per persistent workgroup,
+steals via atomic CAS on the queue ends) is simulated event-driven:
+
+* Each worker (persistent workgroup) starts with a deque of *chunks*
+  (contiguous vertex ranges) from a static partition.
+* A free worker pops from its own deque bottom (cheap atomic), else
+  picks a victim — uniformly at random or the currently richest — and
+  steals the top *half* of the victim's deque, paying
+  ``steal_cycles`` per attempt whether or not it succeeds.
+* A worker retires when every deque is empty.
+
+Because the event queue breaks time ties in scheduling order and the
+victim RNG is seeded, every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.events import EventSimulator
+from ..gpusim.trace import Timeline
+
+__all__ = ["StealingConfig", "StealingResult", "simulate_work_stealing", "simulate_static_persistent"]
+
+
+@dataclass(frozen=True)
+class StealingConfig:
+    """Tuning knobs of the work-stealing runtime.
+
+    ``steal_policy`` is ``"random"`` (pick any other worker, may fail on
+    an empty victim) or ``"richest"`` (scan for the fullest deque — more
+    traffic per attempt on real hardware, modelled as the same
+    ``steal_cycles`` but it never picks an empty victim while work
+    exists).
+    """
+
+    num_workers: int
+    steal_cycles: float = 400.0
+    pop_cycles: float = 8.0
+    steal_policy: str = "random"
+    steal_fraction: float = 0.5
+    max_failed_attempts: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.steal_policy not in ("random", "richest"):
+            raise ValueError("steal_policy must be 'random' or 'richest'")
+        if not 0.0 < self.steal_fraction <= 1.0:
+            raise ValueError("steal_fraction must be in (0, 1]")
+        if self.steal_cycles < 0 or self.pop_cycles < 0:
+            raise ValueError("overhead cycles must be non-negative")
+
+
+@dataclass
+class StealingResult:
+    """Outcome of one work-stealing (or static persistent) run."""
+
+    makespan_cycles: float
+    busy_cycles: np.ndarray  # useful chunk-execution cycles per worker
+    overhead_cycles: np.ndarray  # pop + steal cycles per worker
+    chunks_executed: np.ndarray  # chunks each worker ran
+    steal_attempts: int
+    steals_succeeded: int
+    chunks_migrated: int
+    timeline: Timeline | None = field(default=None, repr=False)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max / mean of per-worker busy time (1.0 = perfect)."""
+        mean = float(self.busy_cycles.mean())
+        if mean == 0:
+            return 1.0
+        return float(self.busy_cycles.max() / mean)
+
+    @property
+    def total_overhead(self) -> float:
+        return float(self.overhead_cycles.sum())
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "makespan": round(self.makespan_cycles, 1),
+            "imbalance": round(self.load_imbalance, 3),
+            "steal_attempts": self.steal_attempts,
+            "steals_ok": self.steals_succeeded,
+            "migrated": self.chunks_migrated,
+            "overhead": round(self.total_overhead, 1),
+        }
+
+
+def simulate_static_persistent(
+    chunk_cycles: np.ndarray,
+    owner: np.ndarray,
+    num_workers: int,
+    *,
+    pop_cycles: float = 8.0,
+) -> StealingResult:
+    """Persistent workgroups, no stealing: each runs only its own chunks.
+
+    This is the static baseline the work-stealing figure compares
+    against; makespan is simply the heaviest worker.
+    """
+    costs = np.asarray(chunk_cycles, dtype=np.float64).ravel()
+    who = np.asarray(owner, dtype=np.int64).ravel()
+    if costs.shape != who.shape:
+        raise ValueError("chunk_cycles and owner must align")
+    if who.size and (who.min() < 0 or who.max() >= num_workers):
+        raise ValueError("owner out of range")
+    busy = np.zeros(num_workers, dtype=np.float64)
+    count = np.zeros(num_workers, dtype=np.int64)
+    np.add.at(busy, who, costs)
+    np.add.at(count, who, 1)
+    overhead = count * pop_cycles
+    makespan = float((busy + overhead).max()) if num_workers else 0.0
+    return StealingResult(
+        makespan_cycles=makespan,
+        busy_cycles=busy,
+        overhead_cycles=overhead.astype(np.float64),
+        chunks_executed=count,
+        steal_attempts=0,
+        steals_succeeded=0,
+        chunks_migrated=0,
+    )
+
+
+def simulate_work_stealing(
+    chunk_cycles: np.ndarray,
+    owner: np.ndarray,
+    config: StealingConfig,
+    *,
+    record_timeline: bool = False,
+) -> StealingResult:
+    """Event-driven work-stealing run over pre-costed chunks.
+
+    ``chunk_cycles[i]`` is the execution cost of chunk ``i`` (already
+    wavefront-aggregated by the caller); ``owner[i]`` its initial worker.
+    """
+    costs = np.asarray(chunk_cycles, dtype=np.float64).ravel()
+    who = np.asarray(owner, dtype=np.int64).ravel()
+    if costs.shape != who.shape:
+        raise ValueError("chunk_cycles and owner must align")
+    if costs.size and costs.min() < 0:
+        raise ValueError("chunk costs must be non-negative")
+    w = config.num_workers
+    if who.size and (who.min() < 0 or who.max() >= w):
+        raise ValueError("owner out of range")
+
+    rng = np.random.default_rng(config.seed)
+    sim = EventSimulator()
+    timeline = Timeline(w) if record_timeline else None
+
+    deques: list[deque[int]] = [deque() for _ in range(w)]
+    for idx in np.argsort(who, kind="stable"):
+        deques[who[idx]].append(int(idx))
+    remaining = costs.size  # chunks still queued (not yet started)
+
+    busy = np.zeros(w, dtype=np.float64)
+    overhead = np.zeros(w, dtype=np.float64)
+    executed = np.zeros(w, dtype=np.int64)
+    failed = np.zeros(w, dtype=np.int64)
+    stats = {"attempts": 0, "hits": 0, "migrated": 0}
+    makespan = 0.0
+
+    def pick_victim(me: int) -> int | None:
+        if config.steal_policy == "richest":
+            sizes = [len(d) for d in deques]
+            sizes[me] = -1
+            best = int(np.argmax(sizes))
+            return best if sizes[best] > 0 else None
+        cand = int(rng.integers(0, w - 1))
+        if cand >= me:
+            cand += 1
+        return cand
+
+    def run_chunk(me: int, chunk: int, start: float) -> None:
+        """Execute one chunk beginning at ``start``; step again at its end."""
+        nonlocal remaining, makespan
+        remaining -= 1
+        cost = costs[chunk]
+        end = start + cost
+        busy[me] += cost
+        executed[me] += 1
+        failed[me] = 0
+        makespan = max(makespan, end)
+        if timeline is not None:
+            timeline.record(me, start, end, f"chunk{chunk}")
+        sim.schedule_at(end, lambda me=me: step(me))
+
+    def step(me: int) -> None:
+        dq = deques[me]
+        if dq:
+            # Pop own bottom: run one chunk.
+            overhead[me] += config.pop_cycles
+            run_chunk(me, dq.pop(), sim.now + config.pop_cycles)
+            return
+        if remaining == 0:
+            return  # retire: nothing left anywhere
+        victim = pick_victim(me)
+        stats["attempts"] += 1
+        overhead[me] += config.steal_cycles
+        when = sim.now + config.steal_cycles
+        if victim is not None and deques[victim]:
+            vdq = deques[victim]
+            take = max(1, int(np.ceil(len(vdq) * config.steal_fraction)))
+            stolen = [vdq.popleft() for _ in range(take)]  # victim's top (FIFO end)
+            stats["hits"] += 1
+            stats["migrated"] += take
+            failed[me] = 0
+            if timeline is not None:
+                timeline.record(me, sim.now, when, f"steal<{victim}")
+            # The thief takes one stolen chunk into its hands immediately
+            # (it cannot be re-stolen) and queues the rest — this is what
+            # guarantees progress: every successful steal executes work.
+            for extra in stolen[1:]:
+                dq.appendleft(extra)
+            run_chunk(me, stolen[0], when + config.pop_cycles)
+            overhead[me] += config.pop_cycles
+        else:
+            failed[me] += 1
+            if failed[me] >= config.max_failed_attempts:
+                return  # give up; stragglers finish without this worker
+            sim.schedule_at(when, lambda me=me: step(me))
+
+    for me in range(w):
+        sim.schedule_at(0.0, lambda me=me: step(me))
+    sim.run(max_events=50 * max(1, costs.size) + 200 * w * config.max_failed_attempts)
+
+    return StealingResult(
+        makespan_cycles=makespan,
+        busy_cycles=busy,
+        overhead_cycles=overhead,
+        chunks_executed=executed,
+        steal_attempts=stats["attempts"],
+        steals_succeeded=stats["hits"],
+        chunks_migrated=stats["migrated"],
+        timeline=timeline,
+    )

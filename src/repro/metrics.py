@@ -1,0 +1,95 @@
+"""Load-imbalance and performance metrics.
+
+The quantities the paper's evaluation reports: imbalance factors over
+per-worker loads, SIMD efficiency (defined in
+:mod:`repro.gpusim.wavefront`), speedups, and geometric means for the
+cross-suite summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .graphs.stats import gini_coefficient
+
+__all__ = [
+    "imbalance_factor",
+    "coefficient_of_variation",
+    "gini_coefficient",
+    "idle_fraction",
+    "speedup",
+    "percent_improvement",
+    "geometric_mean",
+]
+
+
+def imbalance_factor(loads: np.ndarray) -> float:
+    """``max(load) / mean(load)`` — 1.0 is perfectly balanced.
+
+    The classic makespan-oriented imbalance metric: a device whose
+    busiest worker carries λ× the mean finishes λ× later than a
+    balanced one would.
+    """
+    x = np.asarray(loads, dtype=np.float64).ravel()
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("loads must be non-negative")
+    mean = x.mean()
+    if mean == 0:
+        return 1.0
+    return float(x.max() / mean)
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """std / mean of a non-negative distribution (0 when mean is 0)."""
+    x = np.asarray(values, dtype=np.float64).ravel()
+    if x.size == 0:
+        return 0.0
+    mean = x.mean()
+    if mean == 0:
+        return 0.0
+    return float(x.std() / mean)
+
+
+def idle_fraction(loads: np.ndarray) -> float:
+    """Fraction of worker-time idle if all must wait for the slowest.
+
+    ``1 - mean/max`` — the area above the load profile, normalized.
+    """
+    x = np.asarray(loads, dtype=np.float64).ravel()
+    if x.size == 0:
+        return 0.0
+    peak = x.max()
+    if peak == 0:
+        return 0.0
+    return float(1.0 - x.mean() / peak)
+
+
+def speedup(baseline: float, optimized: float) -> float:
+    """``baseline / optimized`` (>1 means the optimization won)."""
+    if optimized <= 0:
+        raise ValueError("optimized time must be positive")
+    if baseline < 0:
+        raise ValueError("baseline time must be non-negative")
+    return baseline / optimized
+
+
+def percent_improvement(baseline: float, optimized: float) -> float:
+    """``100 * (baseline - optimized) / baseline`` — the paper's ≈25 % metric."""
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return 100.0 * (baseline - optimized) / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the cross-suite summary)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,54 @@
+"""Unit tests for experiment reproduction records."""
+
+from repro.analysis.experiment import (
+    ExperimentRecord,
+    load_records,
+    render_markdown,
+    save_records,
+)
+
+
+def rec(eid="E1", holds=True):
+    return ExperimentRecord(
+        experiment_id=eid,
+        paper_artifact="Table 1",
+        paper_claim="claim",
+        measured="measured",
+        shape_holds=holds,
+        details={"k": 1},
+    )
+
+
+class TestRecord:
+    def test_as_row(self):
+        row = rec().as_row()
+        assert row["id"] == "E1"
+        assert row["shape"] == "holds"
+        assert rec(holds=False).as_row()["shape"] == "DIVERGES"
+
+
+class TestMarkdown:
+    def test_renders_sorted_table(self):
+        md = render_markdown([rec("E2"), rec("E1", holds=False)])
+        lines = md.splitlines()
+        assert lines[0].startswith("| Exp")
+        assert "E1" in lines[2] and "E2" in lines[3]
+        assert "❌" in lines[2] and "✅" in lines[3]
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        p = tmp_path / "records.jsonl"
+        save_records([rec("E1"), rec("E2")], p)
+        save_records([rec("E3")], p)  # append
+        loaded = load_records(p)
+        assert [r.experiment_id for r in loaded] == ["E1", "E2", "E3"]
+        assert loaded[0].details == {"k": 1}
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_records(tmp_path / "absent.jsonl") == []
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        p = tmp_path / "deep" / "dir" / "r.jsonl"
+        save_records([rec()], p)
+        assert len(load_records(p)) == 1

@@ -1,0 +1,73 @@
+"""Unit tests for ASCII timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import render_busy_bars, render_gantt
+from repro.gpusim.trace import Timeline
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline(3)
+    tl.record(0, 0.0, 10.0, "a")
+    tl.record(1, 0.0, 5.0, "b")
+    # pipe 2 idle
+    return tl
+
+
+class TestRenderGantt:
+    def test_row_per_pipe(self, timeline):
+        out = render_gantt(timeline, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("p0")
+
+    def test_busy_fractions(self, timeline):
+        out = render_gantt(timeline, width=20)
+        lines = out.splitlines()
+        assert "100.0%" in lines[0]
+        assert "50.0%" in lines[1]
+        assert "0.0%" in lines[2]
+
+    def test_busy_cells_proportional(self, timeline):
+        out = render_gantt(timeline, width=20, busy_char="#", idle_char=".")
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 0
+
+    def test_empty_timeline(self):
+        out = render_gantt(Timeline(2), width=10)
+        assert out.count("·") == 20
+
+    def test_bad_width(self, timeline):
+        with pytest.raises(ValueError):
+            render_gantt(timeline, width=0)
+
+    def test_short_interval_still_visible(self):
+        tl = Timeline(1)
+        tl.record(0, 0.0, 100.0, "long")
+        tl.record(0, 100.0, 100.001, "tiny")
+        out = render_gantt(tl, width=10, busy_char="#")
+        assert "#" in out
+
+
+class TestRenderBusyBars:
+    def test_proportional(self):
+        out = render_busy_bars(np.array([100.0, 50.0, 0.0]), width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert lines[2].count("█") == 0
+
+    def test_zero_loads(self):
+        out = render_busy_bars(np.zeros(2), width=5)
+        assert "█" not in out
+
+    def test_empty(self):
+        assert "no workers" in render_busy_bars(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            render_busy_bars(np.array([-1.0]))

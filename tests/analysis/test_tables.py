@@ -1,0 +1,63 @@
+"""Unit tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table([{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_missing_cells_dash(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "-" in out.splitlines()[-1]
+
+    def test_column_selection_and_order(self):
+        out = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = out.splitlines()[0].split()
+        assert header == ["c", "a"]
+        assert "b" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = format_table([{"v": 0.123456}, {"v": 1234.5}, {"v": 12.3456}])
+        assert "0.1235" in out
+        assert "1,234" in out or "1,235" in out
+
+    def test_bool_rendering(self):
+        out = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in out and "no" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series([1, 2], {"y1": [0.5, 0.6], "y2": [7, 8]}, x_name="n")
+        header = out.splitlines()[0].split()
+        assert header == ["n", "y1", "y2"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            format_series([1, 2], {"y": [1.0]})
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        out = format_kv({"alpha": 1, "b": 2.5}, title="hdr")
+        lines = out.splitlines()
+        assert lines[0] == "hdr"
+        assert lines[1].startswith("alpha")
+        assert ":" in lines[2]
+
+    def test_empty(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,72 @@
+"""Unit tests for Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace_io import save_chrome_trace, timeline_to_trace_events
+from repro.gpusim.trace import Timeline
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline(2)
+    tl.record(0, 0.0, 1000.0, "chunk0")
+    tl.record(1, 500.0, 1500.0, "steal<0")
+    return tl
+
+
+class TestTraceEvents:
+    def test_metadata_and_events(self, timeline):
+        events = timeline_to_trace_events(timeline, process_name="test")
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert any(e["args"].get("name") == "test" for e in metas)
+        assert len(spans) == 2
+        assert {e["tid"] for e in spans} == {0, 1}
+
+    def test_time_scaling(self, timeline):
+        events = timeline_to_trace_events(timeline, cycles_per_us=500.0)
+        span = [e for e in events if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(0.0)
+        assert span["dur"] == pytest.approx(2.0)
+
+    def test_names_carry_tags(self, timeline):
+        spans = [e for e in timeline_to_trace_events(timeline) if e["ph"] == "X"]
+        assert {s["name"] for s in spans} == {"chunk0", "steal<0"}
+
+    def test_bad_scale(self, timeline):
+        with pytest.raises(ValueError):
+            timeline_to_trace_events(timeline, cycles_per_us=0)
+
+
+class TestSaveChromeTrace:
+    def test_file_loads_as_json(self, timeline, tmp_path):
+        p = tmp_path / "deep" / "trace.json"
+        save_chrome_trace(timeline, p)
+        payload = json.loads(p.read_text())
+        assert "traceEvents" in payload
+        assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == 2
+
+    def test_roundtrip_from_stealing_run(self, tmp_path):
+        import numpy as np
+
+        from repro.loadbalance.workstealing import (
+            StealingConfig,
+            simulate_work_stealing,
+        )
+
+        costs = np.full(16, 50.0)
+        owner = np.zeros(16, dtype=np.int64)
+        res = simulate_work_stealing(
+            costs, owner, StealingConfig(num_workers=4, seed=0), record_timeline=True
+        )
+        p = tmp_path / "steal.json"
+        save_chrome_trace(res.timeline, p)
+        payload = json.loads(p.read_text())
+        chunk_events = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("chunk")
+        ]
+        assert len(chunk_events) == 16

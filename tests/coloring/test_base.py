@@ -1,0 +1,96 @@
+"""Unit tests for coloring results and validation."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.base import (
+    UNCOLORED,
+    ColoringResult,
+    InvalidColoringError,
+    conflicting_edges,
+    count_conflicts,
+    is_valid_coloring,
+    num_colors_used,
+    validate_coloring,
+)
+from repro.graphs import generators as gen
+from repro.gpusim.device import RADEON_HD_7950
+
+
+class TestValidation:
+    def test_valid_triangle_coloring(self, triangle):
+        validate_coloring(triangle, np.array([0, 1, 2]))  # must not raise
+        assert is_valid_coloring(triangle, np.array([0, 1, 2]))
+
+    def test_conflict_detected(self, triangle):
+        with pytest.raises(InvalidColoringError, match="conflicting"):
+            validate_coloring(triangle, np.array([0, 0, 1]))
+        assert not is_valid_coloring(triangle, np.array([0, 0, 1]))
+
+    def test_uncolored_rejected_by_default(self, path5):
+        colors = np.array([0, 1, UNCOLORED, 1, 0])
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            validate_coloring(path5, colors)
+        validate_coloring(path5, colors, allow_uncolored=True)
+
+    def test_uncolored_pair_is_not_conflict(self, path5):
+        colors = np.full(5, UNCOLORED)
+        assert count_conflicts(path5, colors) == 0
+
+    def test_below_sentinel_rejected(self, triangle):
+        with pytest.raises(InvalidColoringError, match="sentinel"):
+            validate_coloring(triangle, np.array([0, 1, -5]))
+
+    def test_wrong_shape_rejected(self, triangle):
+        with pytest.raises(ValueError, match="shape"):
+            validate_coloring(triangle, np.array([0, 1]))
+
+    def test_conflicting_edges_endpoints(self):
+        g = gen.path(3)
+        u, v = conflicting_edges(g, np.array([0, 0, 0]))
+        assert set(zip(u.tolist(), v.tolist())) == {(0, 1), (1, 2)}
+
+    def test_count_conflicts(self):
+        g = gen.clique(3)
+        assert count_conflicts(g, np.array([0, 0, 0])) == 3
+        assert count_conflicts(g, np.array([0, 0, 1])) == 1
+        assert count_conflicts(g, np.array([0, 1, 2])) == 0
+
+
+class TestNumColors:
+    def test_counts_distinct(self):
+        assert num_colors_used(np.array([0, 2, 2, 5])) == 3
+
+    def test_ignores_sentinel(self):
+        assert num_colors_used(np.array([UNCOLORED, 1, UNCOLORED])) == 1
+
+    def test_empty(self):
+        assert num_colors_used(np.array([], dtype=int)) == 0
+
+
+class TestColoringResult:
+    def test_properties(self, triangle):
+        r = ColoringResult(
+            algorithm="x",
+            colors=np.array([0, 1, 2]),
+            total_cycles=925_000.0,
+            device=RADEON_HD_7950,
+        )
+        assert r.num_colors == 3
+        assert r.time_ms == pytest.approx(1.0)  # 925k cycles at 925 MHz
+        assert r.validate(triangle) is r
+
+    def test_cpu_result_has_zero_time(self):
+        r = ColoringResult(algorithm="cpu", colors=np.array([0]))
+        assert r.time_ms == 0.0
+
+    def test_validate_raises_on_bad(self, triangle):
+        r = ColoringResult(algorithm="x", colors=np.array([0, 0, 1]))
+        with pytest.raises(InvalidColoringError):
+            r.validate(triangle)
+
+    def test_as_row(self):
+        r = ColoringResult(algorithm="algo", colors=np.array([0, 1]))
+        row = r.as_row()
+        assert row["algorithm"] == "algo"
+        assert row["colors"] == 2

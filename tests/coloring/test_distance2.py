@@ -1,0 +1,137 @@
+"""Unit tests for distance-2 coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.distance2 import (
+    greedy_distance2,
+    is_valid_distance2,
+    speculative_distance2,
+    two_hop_work,
+    validate_distance2,
+)
+from repro.coloring.base import InvalidColoringError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+
+def brute_valid_d2(graph, colors):
+    for v in range(graph.num_vertices):
+        if colors[v] < 0:
+            return False
+        seen = {}
+        for w in graph.neighbors(v):
+            w = int(w)
+            if colors[w] == colors[v]:
+                return False
+            if colors[w] in seen and seen[colors[w]] != w:
+                return False
+            seen[int(colors[w])] = w
+    return True
+
+
+class TestValidation:
+    def test_star_needs_all_distinct(self):
+        g = gen.star(4)
+        good = np.array([0, 1, 2, 3, 4])
+        validate_distance2(g, good)
+        # two leaves sharing a color are distance-2 via the hub
+        bad = np.array([0, 1, 1, 2, 3])
+        with pytest.raises(InvalidColoringError):
+            validate_distance2(g, bad)
+
+    def test_adjacent_conflict_detected(self):
+        g = gen.path(2)
+        assert not is_valid_distance2(g, np.array([0, 0]))
+
+    def test_path_alternating_three(self):
+        g = gen.path(6)
+        colors = np.array([0, 1, 2, 0, 1, 2])
+        assert is_valid_distance2(g, colors)
+        assert not is_valid_distance2(g, np.array([0, 1, 0, 1, 0, 1]))
+
+    def test_incomplete_rejected(self):
+        g = gen.path(3)
+        assert not is_valid_distance2(g, np.array([-1, 0, 1]))
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        g = gen.erdos_renyi(60, avg_degree=4, seed=1)
+        for _ in range(20):
+            colors = rng.integers(0, 12, g.num_vertices)
+            assert is_valid_distance2(g, colors) == brute_valid_d2(g, colors)
+
+
+class TestTwoHopWork:
+    def test_star_hub(self):
+        g = gen.star(4)
+        work = two_hop_work(g)
+        assert work[0] == 4 + 4 * 1  # own degree + each leaf's degree
+        assert work[1] == 1 + 4
+
+    def test_edgeless(self):
+        g = CSRGraph.empty(3)
+        assert two_hop_work(g).tolist() == [0, 0, 0]
+
+
+STRUCTURES = [
+    gen.path(10),
+    gen.cycle(7),
+    gen.star(8),
+    gen.clique(5),
+    gen.grid_2d(6, 6),
+    gen.erdos_renyi(120, avg_degree=4, seed=2),
+    gen.barabasi_albert(100, attach=2, seed=2),
+]
+
+
+@pytest.mark.parametrize("algo", [greedy_distance2, speculative_distance2])
+@pytest.mark.parametrize("graph", STRUCTURES, ids=lambda g: f"n{g.num_vertices}m{g.num_edges}")
+class TestAlgorithms:
+    def test_valid_everywhere(self, algo, graph):
+        r = algo(graph)
+        validate_distance2(graph, r.colors)
+
+
+class TestQuality:
+    def test_star_uses_n_plus_1_colors(self):
+        # every pair of star vertices is within distance 2
+        g = gen.star(7)
+        assert greedy_distance2(g).num_colors == 8
+
+    def test_d2_needs_at_least_d1_colors(self):
+        from repro.coloring.sequential import greedy_first_fit
+
+        g = gen.erdos_renyi(150, avg_degree=5, seed=3)
+        assert greedy_distance2(g).num_colors >= greedy_first_fit(g).num_colors
+
+    def test_speculative_close_to_greedy(self):
+        g = gen.erdos_renyi(150, avg_degree=5, seed=3)
+        spec = speculative_distance2(g, seed=0).num_colors
+        greedy = greedy_distance2(g).num_colors
+        assert spec <= 2 * greedy
+
+
+class TestSpeculativeBehavior:
+    def test_deterministic(self):
+        g = gen.erdos_renyi(100, avg_degree=4, seed=5)
+        a = speculative_distance2(g, seed=3)
+        b = speculative_distance2(g, seed=3)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_active_set_shrinks(self):
+        g = gen.erdos_renyi(100, avg_degree=4, seed=5)
+        r = speculative_distance2(g)
+        actives = [it.active_vertices for it in r.iterations]
+        assert all(a > b for a, b in zip(actives, actives[1:]))
+
+    def test_timed_run(self, executor):
+        g = gen.grid_2d(10, 10)
+        r = speculative_distance2(g, executor)
+        assert r.total_cycles > 0
+        validate_distance2(g, r.colors)
+
+    def test_max_iterations_cap(self):
+        g = gen.clique(12)
+        r = speculative_distance2(g, max_iterations=2)
+        assert r.num_iterations == 2

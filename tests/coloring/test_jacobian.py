@@ -1,0 +1,121 @@
+"""Unit tests for Jacobian compression."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.coloring.jacobian import (
+    column_intersection_coloring,
+    compression_ratio,
+    recover_jacobian,
+    seed_matrix,
+)
+
+
+def random_jacobian(rows, cols, nnz_per_row, seed):
+    rng = np.random.default_rng(seed)
+    r = np.repeat(np.arange(rows), nnz_per_row)
+    c = rng.integers(0, cols, size=r.size)
+    v = rng.normal(size=r.size)
+    mat = sp.csr_matrix((v, (r, c)), shape=(rows, cols))
+    mat.sum_duplicates()
+    return mat
+
+
+def is_structurally_orthogonal(pattern, colors):
+    """No row may contain two columns of the same color."""
+    mat = sp.csr_matrix(pattern)
+    for r in range(mat.shape[0]):
+        cols = mat.indices[mat.indptr[r] : mat.indptr[r + 1]]
+        cs = colors[cols]
+        if np.unique(cs).size != cs.size:
+            return False
+    return True
+
+
+class TestColumnColoring:
+    @pytest.mark.parametrize("order", ["natural", "largest_first"])
+    def test_structurally_orthogonal(self, order):
+        J = random_jacobian(300, 120, 4, seed=1)
+        colors = column_intersection_coloring(J != 0, order=order)
+        assert is_structurally_orthogonal(J != 0, colors)
+        assert colors.min() >= 0
+
+    def test_diagonal_matrix_one_group(self):
+        J = sp.identity(20, format="csr")
+        colors = column_intersection_coloring(J)
+        assert colors.max() == 0
+
+    def test_dense_row_forces_all_distinct(self):
+        # one row touching every column → n groups
+        J = sp.csr_matrix(np.ones((1, 6)))
+        colors = column_intersection_coloring(J)
+        assert np.unique(colors).size == 6
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            column_intersection_coloring(sp.identity(3), order="weird")
+
+    def test_largest_first_not_worse_than_natural_often(self):
+        J = random_jacobian(400, 150, 5, seed=2)
+        nat = column_intersection_coloring(J != 0, order="natural").max() + 1
+        lf = column_intersection_coloring(J != 0, order="largest_first").max() + 1
+        assert lf <= nat + 2
+
+
+class TestSeedMatrix:
+    def test_shape_and_content(self):
+        S = seed_matrix(np.array([0, 1, 0, 2]))
+        assert S.shape == (4, 3)
+        assert S.sum() == 4
+        assert S[2, 0] == 1.0
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(ValueError):
+            seed_matrix(np.array([0, -1]))
+
+    def test_empty(self):
+        assert seed_matrix(np.array([], dtype=int)).shape == (0, 0)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_exact_roundtrip(self, seed):
+        J = random_jacobian(250, 90, 4, seed=seed)
+        pattern = J != 0
+        colors = column_intersection_coloring(pattern)
+        comp = J @ seed_matrix(colors)
+        rec = recover_jacobian(pattern, comp, colors)
+        assert abs(rec - J).max() < 1e-12
+
+    def test_stencil_roundtrip(self):
+        n = 15
+        main = sp.diags(
+            [np.full(n - 1, -1.0), np.full(n, 4.0), np.full(n - 1, -1.0)],
+            [-1, 0, 1],
+            format="csr",
+        )
+        pattern = main != 0
+        colors = column_intersection_coloring(pattern)
+        assert colors.max() + 1 <= 3  # tridiagonal compresses to ≤3 groups
+        rec = recover_jacobian(pattern, main @ seed_matrix(colors), colors)
+        assert abs(rec - main).max() < 1e-12
+
+    def test_shape_mismatches_rejected(self):
+        J = random_jacobian(10, 5, 2, seed=0)
+        colors = column_intersection_coloring(J != 0)
+        comp = J @ seed_matrix(colors)
+        with pytest.raises(ValueError):
+            recover_jacobian(J != 0, comp[:5], colors)
+        with pytest.raises(ValueError):
+            recover_jacobian(J != 0, comp, colors[:3])
+        with pytest.raises(ValueError):
+            recover_jacobian(J != 0, comp[:, :1], colors + 5)
+
+
+class TestCompressionRatio:
+    def test_ratio(self):
+        assert compression_ratio(np.array([0, 0, 0, 1])) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert compression_ratio(np.array([], dtype=int)) == 1.0

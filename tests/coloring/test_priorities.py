@@ -1,0 +1,59 @@
+"""Unit tests for priority functions."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.maxmin import maxmin_coloring
+from repro.coloring.priorities import PRIORITY_KINDS, make_priorities
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def skewed():
+    return gen.barabasi_albert(300, attach=4, seed=1)
+
+
+@pytest.mark.parametrize("kind", PRIORITY_KINDS)
+class TestContract:
+    def test_unique(self, kind, skewed):
+        pr = make_priorities(skewed, kind, seed=0)
+        assert np.unique(pr).size == skewed.num_vertices
+
+    def test_deterministic(self, kind, skewed):
+        a = make_priorities(skewed, kind, seed=4)
+        b = make_priorities(skewed, kind, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_algorithms_stay_correct(self, kind, skewed):
+        maxmin_coloring(skewed, priority=kind).validate(skewed)
+        jones_plassmann_coloring(skewed, priority=kind).validate(skewed)
+
+
+class TestDegreePriority:
+    def test_hub_has_top_priority(self):
+        g = gen.star(20)
+        pr = make_priorities(g, "degree")
+        assert pr.argmax() == 0
+
+    def test_hubs_leave_active_set_early(self, skewed):
+        # with degree priority, the max-degree vertex colors in round 0
+        r = maxmin_coloring(skewed, priority="degree", compact=False)
+        hub = int(skewed.degrees.argmax())
+        assert r.colors[hub] in (0, 1)  # colored in the first sweep
+
+
+class TestSmallestLastPriority:
+    def test_quality_close_to_smallest_last_greedy(self):
+        from repro.coloring.sequential import smallest_last
+
+        g = gen.erdos_renyi(200, avg_degree=8, seed=2)
+        jp = jones_plassmann_coloring(g, priority="smallest_last")
+        ref = smallest_last(g)
+        assert jp.num_colors <= ref.num_colors + 3
+
+
+class TestErrors:
+    def test_unknown_kind(self, skewed):
+        with pytest.raises(ValueError, match="priority kind"):
+            make_priorities(skewed, "lexicographic")

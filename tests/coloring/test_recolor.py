@@ -1,0 +1,100 @@
+"""Unit tests for the color-reduction post-passes."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.maxmin import maxmin_coloring
+from repro.coloring.recolor import balance_colors, class_sizes, recolor_greedy
+from repro.coloring.sequential import greedy_first_fit
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def skewed():
+    return gen.rmat(8, edge_factor=6, seed=3)
+
+
+class TestClassSizes:
+    def test_counts(self):
+        sizes = class_sizes(np.array([0, 0, 1, 2, 2, 2]))
+        assert sizes.tolist() == [2, 1, 3]
+
+    def test_ignores_uncolored(self):
+        sizes = class_sizes(np.array([-1, 0, 0]))
+        assert sizes.tolist() == [2]
+
+    def test_empty(self):
+        assert class_sizes(np.array([-1, -1])).size == 0
+
+
+class TestRecolorGreedy:
+    def test_never_increases_colors(self, skewed):
+        base = maxmin_coloring(skewed, seed=0)
+        out = recolor_greedy(skewed, base.colors, passes=1)
+        out.validate(skewed)
+        assert out.num_colors <= base.num_colors
+
+    def test_monotone_across_passes(self, skewed):
+        base = maxmin_coloring(skewed, seed=0)
+        out = recolor_greedy(skewed, base.colors, passes=5)
+        history = out.extras["colors_per_pass"]
+        assert all(a >= b for a, b in zip(history, history[1:]))
+
+    def test_substantially_reduces_maxmin(self, skewed):
+        # max-min burns 2 colors per sweep; iterated greedy claws it back
+        base = maxmin_coloring(skewed, seed=0)
+        out = recolor_greedy(skewed, base.colors, passes=4)
+        assert out.num_colors < 0.7 * base.num_colors
+
+    @pytest.mark.parametrize(
+        "strategy", ["reverse", "largest_first", "smallest_first", "random"]
+    )
+    def test_all_strategies_valid(self, skewed, strategy):
+        base = maxmin_coloring(skewed, seed=0)
+        out = recolor_greedy(skewed, base.colors, strategy=strategy, passes=2)
+        out.validate(skewed)
+        assert out.num_colors <= base.num_colors
+
+    def test_zero_passes_is_compaction_only(self, skewed):
+        base = maxmin_coloring(skewed, seed=0)
+        out = recolor_greedy(skewed, base.colors, passes=0)
+        assert out.num_colors == base.num_colors
+
+    def test_rejects_invalid_input_coloring(self, skewed):
+        bad = np.zeros(skewed.num_vertices, dtype=np.int64)
+        with pytest.raises(Exception):
+            recolor_greedy(skewed, bad)
+
+    def test_unknown_strategy(self, skewed):
+        base = greedy_first_fit(skewed)
+        with pytest.raises(ValueError, match="strategy"):
+            recolor_greedy(skewed, base.colors, strategy="clever")
+
+    def test_negative_passes(self, skewed):
+        base = greedy_first_fit(skewed)
+        with pytest.raises(ValueError, match="passes"):
+            recolor_greedy(skewed, base.colors, passes=-1)
+
+
+class TestBalanceColors:
+    def test_keeps_validity_and_color_count(self, skewed):
+        base = greedy_first_fit(skewed)
+        out = balance_colors(skewed, base.colors)
+        out.validate(skewed)
+        assert out.num_colors <= base.num_colors
+
+    def test_reduces_size_spread(self):
+        g = gen.erdos_renyi(400, avg_degree=6, seed=7)
+        base = greedy_first_fit(g)
+        before = class_sizes(base.colors)
+        out = balance_colors(g, base.colors, rounds=3)
+        after = class_sizes(out.colors)
+        assert after.max() - after.min() <= before.max() - before.min()
+
+    def test_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.empty(3)
+        base = greedy_first_fit(g)
+        out = balance_colors(g, base.colors)
+        out.validate(g)

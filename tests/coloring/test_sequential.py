@@ -1,0 +1,137 @@
+"""Unit tests for the sequential reference colorings."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.sequential import (
+    dsatur,
+    greedy_first_fit,
+    smallest_last,
+    smallest_last_order,
+    vertex_order,
+    welsh_powell,
+)
+from repro.graphs import generators as gen
+
+ALL_SEQUENTIAL = [
+    lambda g: greedy_first_fit(g, order="natural"),
+    lambda g: greedy_first_fit(g, order="random", seed=1),
+    welsh_powell,
+    smallest_last,
+    dsatur,
+]
+
+
+@pytest.mark.parametrize("algo", ALL_SEQUENTIAL)
+class TestCorrectnessOnStructures:
+    def test_path_two_colors(self, algo):
+        g = gen.path(10)
+        r = algo(g).validate(g)
+        assert r.num_colors == 2
+
+    def test_even_cycle_at_most_three_colors(self, algo):
+        # greedy over an adversarial order can use 3 on an even cycle
+        g = gen.cycle(8)
+        r = algo(g).validate(g)
+        assert r.num_colors <= 3
+
+    def test_odd_cycle_three_colors(self, algo):
+        g = gen.cycle(9)
+        r = algo(g).validate(g)
+        assert r.num_colors == 3
+
+    def test_clique_needs_n(self, algo):
+        g = gen.clique(6)
+        r = algo(g).validate(g)
+        assert r.num_colors == 6
+
+    def test_star_two_colors(self, algo):
+        g = gen.star(12)
+        r = algo(g).validate(g)
+        assert r.num_colors == 2
+
+    def test_bipartite_at_most_degeneracy(self, algo):
+        # K(3,3): chromatic number 2; any greedy ≤ 4 here
+        g = gen.complete_bipartite(3, 3)
+        r = algo(g).validate(g)
+        assert 2 <= r.num_colors <= 4
+
+    def test_random_graph_valid(self, algo):
+        g = gen.erdos_renyi(200, avg_degree=8, seed=2)
+        algo(g).validate(g)
+
+    def test_skewed_graph_valid(self, algo):
+        g = gen.rmat(7, edge_factor=5, seed=2)
+        algo(g).validate(g)
+
+    def test_edgeless_graph_one_color(self, algo):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.empty(5)
+        r = algo(g).validate(g)
+        assert r.num_colors == 1
+
+
+class TestQualityRelations:
+    def test_greedy_bounded_by_max_degree_plus_one(self):
+        g = gen.rmat(8, edge_factor=6, seed=0)
+        r = greedy_first_fit(g)
+        assert r.num_colors <= g.max_degree + 1
+
+    def test_smallest_last_respects_degeneracy_bound(self):
+        # planar graphs have degeneracy ≤ 5 → smallest-last ≤ 6 colors
+        g = gen.delaunay_mesh(400, seed=0)
+        r = smallest_last(g)
+        assert r.num_colors <= 6
+
+    def test_dsatur_competitive(self):
+        g = gen.erdos_renyi(300, avg_degree=10, seed=1)
+        assert dsatur(g).num_colors <= greedy_first_fit(g).num_colors + 1
+
+    def test_dsatur_optimal_on_bipartite(self):
+        # DSATUR is exact on bipartite graphs
+        g = gen.complete_bipartite(5, 7)
+        assert dsatur(g).num_colors == 2
+        g2 = gen.grid_2d(8, 8)  # grids are bipartite
+        assert dsatur(g2).num_colors == 2
+
+
+class TestVertexOrder:
+    def test_natural(self):
+        g = gen.path(5)
+        assert vertex_order(g, "natural").tolist() == [0, 1, 2, 3, 4]
+
+    def test_random_is_permutation_and_seeded(self):
+        g = gen.path(10)
+        o1 = vertex_order(g, "random", seed=3)
+        o2 = vertex_order(g, "random", seed=3)
+        assert np.array_equal(o1, o2)
+        assert sorted(o1.tolist()) == list(range(10))
+
+    def test_largest_first_sorted(self):
+        g = gen.star(5)
+        order = vertex_order(g, "largest_first")
+        assert order[0] == 0  # the hub
+
+    def test_smallest_last_is_permutation(self):
+        g = gen.rmat(6, edge_factor=4, seed=1)
+        order = smallest_last_order(g)
+        assert sorted(order.tolist()) == list(range(g.num_vertices))
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="unknown order"):
+            vertex_order(gen.path(3), "degree")
+
+
+class TestResultMetadata:
+    def test_algorithm_names(self):
+        g = gen.path(4)
+        assert greedy_first_fit(g).algorithm == "greedy-natural"
+        assert welsh_powell(g).algorithm == "welsh-powell"
+        assert dsatur(g).algorithm == "dsatur"
+
+    def test_untimed(self):
+        g = gen.path(4)
+        r = dsatur(g)
+        assert r.total_cycles == 0.0
+        assert r.device is None

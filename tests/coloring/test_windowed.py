@@ -1,0 +1,103 @@
+"""Unit tests for windowed speculative coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.speculative import speculative_coloring
+from repro.coloring.windowed import window_first_fit, windowed_speculative_coloring
+from repro.coloring.base import UNCOLORED
+from repro.graphs import generators as gen
+
+
+class TestWindowFirstFit:
+    def test_free_in_window(self):
+        g = gen.star(3)
+        colors = np.array([UNCOLORED, 0, 1, 2])
+        out = window_first_fit(g, colors, np.array([0]), base=0, window=8)
+        assert out.tolist() == [3]
+
+    def test_full_window_defers(self):
+        g = gen.star(3)
+        colors = np.array([UNCOLORED, 0, 1, 2])
+        out = window_first_fit(g, colors, np.array([0]), base=0, window=3)
+        assert out.tolist() == [-1]
+
+    def test_window_base_offsets(self):
+        g = gen.star(3)
+        colors = np.array([UNCOLORED, 0, 1, 2])
+        out = window_first_fit(g, colors, np.array([0]), base=3, window=4)
+        assert out.tolist() == [3]
+
+    def test_out_of_window_colors_ignored(self):
+        g = gen.path(2)
+        colors = np.array([UNCOLORED, 100])
+        out = window_first_fit(g, colors, np.array([0]), base=0, window=4)
+        assert out.tolist() == [0]
+
+    def test_empty_selection(self):
+        g = gen.path(3)
+        out = window_first_fit(g, np.zeros(3, dtype=int), np.array([], dtype=int), 0, 4)
+        assert out.size == 0
+
+    def test_bad_window(self):
+        g = gen.path(3)
+        with pytest.raises(ValueError):
+            window_first_fit(g, np.zeros(3, dtype=int), np.array([0]), 0, 0)
+
+
+STRUCTURES = [
+    gen.path(12),
+    gen.cycle(9),
+    gen.clique(10),
+    gen.star(20),
+    gen.grid_2d(8, 8),
+    gen.erdos_renyi(200, avg_degree=8, seed=1),
+    gen.rmat(7, edge_factor=6, seed=1),
+]
+
+
+@pytest.mark.parametrize("window", [1, 2, 8, 64])
+@pytest.mark.parametrize("graph", STRUCTURES, ids=lambda g: f"n{g.num_vertices}m{g.num_edges}")
+class TestCorrectness:
+    def test_valid_complete_coloring(self, window, graph):
+        r = windowed_speculative_coloring(graph, window=window, seed=0)
+        r.validate(graph)
+
+
+class TestBehavior:
+    def test_deterministic(self):
+        g = gen.rmat(7, edge_factor=5, seed=2)
+        a = windowed_speculative_coloring(g, window=8, seed=4)
+        b = windowed_speculative_coloring(g, window=8, seed=4)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_huge_window_matches_plain_speculative_color_count(self):
+        g = gen.erdos_renyi(250, avg_degree=8, seed=3)
+        win = windowed_speculative_coloring(g, window=g.max_degree + 1, seed=0)
+        plain = speculative_coloring(g, seed=0)
+        # same algorithm family; counts stay in the same ballpark
+        assert abs(win.num_colors - plain.num_colors) <= 3
+
+    def test_small_windows_need_more_passes(self):
+        g = gen.rmat(7, edge_factor=6, seed=1)
+        small = windowed_speculative_coloring(g, window=2, seed=0)
+        big = windowed_speculative_coloring(g, window=128, seed=0)
+        assert small.num_iterations > big.num_iterations
+
+    def test_clique_advances_the_window(self):
+        g = gen.clique(10)
+        r = windowed_speculative_coloring(g, window=3, seed=0)
+        r.validate(g)
+        assert r.num_colors == 10
+        assert r.extras["final_base"] >= 6  # had to walk several windows
+
+    def test_conservation(self):
+        g = gen.erdos_renyi(150, avg_degree=6, seed=5)
+        r = windowed_speculative_coloring(g, window=4, seed=0)
+        assert sum(it.newly_colored for it in r.iterations) == g.num_vertices
+
+    def test_timed_run(self, executor):
+        g = gen.rmat(7, edge_factor=5, seed=0)
+        r = windowed_speculative_coloring(g, executor, window=16, seed=0)
+        r.validate(g)
+        assert r.total_cycles > 0

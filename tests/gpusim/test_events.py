@@ -1,0 +1,77 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.gpusim.events import EventSimulator
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append("b"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(9.0, lambda: log.append("c"))
+        end = sim.run()
+        assert log == ["a", "b", "c"]
+        assert end == 9.0
+
+    def test_ties_resolve_in_scheduling_order(self):
+        sim = EventSimulator()
+        log = []
+        for tag in "abc":
+            sim.schedule_at(2.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = EventSimulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule_after(3.0, lambda: log.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert log == [1.0, 4.0]
+
+    def test_schedule_into_past_rejected(self):
+        sim = EventSimulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+
+class TestRunControls:
+    def test_until_horizon(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(10.0, lambda: log.append(2))
+        end = sim.run(until=5.0)
+        assert log == [1]
+        assert end == 5.0
+        assert sim.pending() == 1
+        sim.run()
+        assert log == [1, 2]
+
+    def test_max_events_guard(self):
+        sim = EventSimulator()
+
+        def loop():
+            sim.schedule_after(1.0, loop)
+
+        sim.schedule_at(0.0, loop)
+        sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+    def test_empty_run(self):
+        sim = EventSimulator()
+        assert sim.run() == 0.0
+        assert sim.events_processed == 0

@@ -1,0 +1,66 @@
+"""Unit tests for the latency-hiding model."""
+
+import pytest
+
+from repro.gpusim.device import RADEON_HD_7950
+from repro.gpusim.latency import LatencyModel, latency_hiding
+
+
+class TestLatencyModel:
+    def test_waves_needed(self):
+        m = LatencyModel(mem_latency_cycles=300.0, compute_per_access_cycles=30.0)
+        assert m.waves_needed_per_simd == pytest.approx(11.0)
+
+    def test_utilization_saturates(self):
+        m = LatencyModel()
+        assert m.utilization(1000.0) == 1.0
+        assert m.utilization(0.0) == 0.0
+
+    def test_utilization_linear_below_saturation(self):
+        m = LatencyModel(mem_latency_cycles=100.0, compute_per_access_cycles=100.0)
+        # needs 2 waves; 1 wave → 0.5
+        assert m.utilization(1.0) == pytest.approx(0.5)
+
+    def test_slowdown_inverse_of_utilization(self):
+        m = LatencyModel(mem_latency_cycles=100.0, compute_per_access_cycles=100.0)
+        assert m.slowdown(1.0) == pytest.approx(2.0)
+        assert m.slowdown(4.0) == pytest.approx(1.0)
+
+    def test_zero_residency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().slowdown(0.0)
+        with pytest.raises(ValueError):
+            LatencyModel().utilization(-1.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyModel(mem_latency_cycles=0)
+        with pytest.raises(ValueError):
+            LatencyModel(compute_per_access_cycles=-1)
+
+
+class TestLatencyHiding:
+    def test_light_kernel_full_utilization(self):
+        rep = latency_hiding(
+            RADEON_HD_7950, workgroup_size=256, vgprs_per_lane=16,
+            model=LatencyModel(mem_latency_cycles=100.0, compute_per_access_cycles=50.0),
+        )
+        assert rep.utilization == 1.0
+        assert rep.slowdown == pytest.approx(1.0)
+
+    def test_register_pressure_costs_throughput(self):
+        light = latency_hiding(RADEON_HD_7950, vgprs_per_lane=16)
+        heavy = latency_hiding(RADEON_HD_7950, vgprs_per_lane=200)
+        assert heavy.waves_per_simd < light.waves_per_simd
+        assert heavy.slowdown > light.slowdown
+
+    def test_report_row(self):
+        row = latency_hiding(RADEON_HD_7950).as_row()
+        assert {"waves_per_simd", "utilization", "slowdown", "limiter"} <= set(row)
+
+    def test_monotone_in_registers(self):
+        prev = 0.0
+        for v in (16, 32, 64, 128, 255):
+            s = latency_hiding(RADEON_HD_7950, vgprs_per_lane=v).slowdown
+            assert s >= prev - 1e-12
+            prev = s

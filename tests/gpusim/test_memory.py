@@ -1,0 +1,80 @@
+"""Unit tests for the memory cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import RADEON_HD_7950, DeviceConfig
+from repro.gpusim.memory import ELEMENT_BYTES, MemoryModel
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(RADEON_HD_7950)
+
+
+class TestAccessCosts:
+    def test_scattered_costs_more_than_streamed(self, mem):
+        assert mem.scattered_element_cycles > mem.streamed_element_cycles
+
+    def test_cache_hit_rate_discounts_scattered(self):
+        dev = RADEON_HD_7950
+        cold = MemoryModel(dev, cache_hit_rate=0.0)
+        warm = MemoryModel(dev, cache_hit_rate=0.8)
+        assert warm.scattered_element_cycles < cold.scattered_element_cycles
+
+    def test_zero_hit_rate_is_raw_uncoalesced(self):
+        dev = RADEON_HD_7950
+        mem = MemoryModel(dev, cache_hit_rate=0.0)
+        assert mem.scattered_element_cycles == pytest.approx(
+            dev.uncoalesced_access_cycles
+        )
+
+    def test_coalescing_ablation_switch(self):
+        dev = RADEON_HD_7950
+        off = MemoryModel(dev, coalescing_enabled=False)
+        on = MemoryModel(dev, coalescing_enabled=True)
+        # without coalescing, cooperative strides serialize their lanes'
+        # transactions — strictly worse than even a lane-private access
+        assert off.streamed_element_cycles == pytest.approx(
+            off.scattered_element_cycles * off.uncoalesced_serialization
+        )
+        assert on.streamed_element_cycles < off.streamed_element_cycles
+
+    def test_serialization_factor_validated(self):
+        with pytest.raises(ValueError):
+            MemoryModel(RADEON_HD_7950, uncoalesced_serialization=0.5)
+
+    def test_vectorized_charges(self, mem):
+        elems = np.array([0.0, 1.0, 10.0])
+        out = mem.scattered_read(elems)
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert out[2] == pytest.approx(10 * mem.scattered_element_cycles)
+        assert mem.streamed_read(4.0) == pytest.approx(4 * mem.streamed_element_cycles)
+
+    def test_invalid_hit_rate(self):
+        with pytest.raises(ValueError):
+            MemoryModel(RADEON_HD_7950, cache_hit_rate=1.0)
+        with pytest.raises(ValueError):
+            MemoryModel(RADEON_HD_7950, cache_hit_rate=-0.1)
+
+
+class TestBandwidth:
+    def test_bytes_moved_scales_with_elements(self, mem):
+        assert mem.bytes_moved(100) == pytest.approx(10 * mem.bytes_moved(10))
+        assert mem.bytes_moved(1) >= ELEMENT_BYTES  # at least the useful bytes
+
+    def test_overfetch_shrinks_with_hit_rate(self):
+        dev = RADEON_HD_7950
+        cold = MemoryModel(dev, cache_hit_rate=0.0)
+        warm = MemoryModel(dev, cache_hit_rate=0.9)
+        assert warm.bytes_moved(10) < cold.bytes_moved(10)
+
+    def test_bandwidth_floor_matches_device(self):
+        dev = DeviceConfig(clock_mhz=1000.0, dram_bandwidth_gbps=4.0)
+        mem = MemoryModel(dev, cache_hit_rate=0.0)
+        # 1e9 elements * 4 B * overfetch 4 = 16e9 B at 4 GB/s = 4 s = 4e9 cycles
+        assert mem.bandwidth_floor_cycles(1e9) == pytest.approx(4e9, rel=1e-6)
+
+    def test_zero_traffic_zero_floor(self, mem):
+        assert mem.bandwidth_floor_cycles(0.0) == 0.0

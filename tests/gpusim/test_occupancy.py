@@ -1,0 +1,75 @@
+"""Unit tests for the occupancy calculator."""
+
+import pytest
+
+from repro.gpusim.device import RADEON_HD_7950
+from repro.gpusim.occupancy import OccupancyLimits, occupancy
+
+
+class TestOccupancy:
+    def test_light_kernel_hits_workgroup_slots(self):
+        rep = occupancy(RADEON_HD_7950, workgroup_size=256, vgprs_per_lane=8)
+        # 256/8=32 waves of VGPR budget per SIMD ×4 = 128 groups' worth,
+        # wave slots cap at 40/4=10 groups before workgroup slots matter
+        assert rep.limiter in ("wave_slots", "workgroup_slots")
+        assert rep.occupancy == 1.0
+
+    def test_register_heavy_kernel(self):
+        rep = occupancy(RADEON_HD_7950, workgroup_size=256, vgprs_per_lane=128)
+        assert rep.limiter == "vgpr"
+        assert rep.waves_per_cu == 8
+        assert rep.occupancy == pytest.approx(0.2)
+
+    def test_lds_heavy_kernel(self):
+        rep = occupancy(
+            RADEON_HD_7950,
+            workgroup_size=256,
+            vgprs_per_lane=16,
+            lds_per_workgroup=32768,
+        )
+        assert rep.limiter == "lds"
+        assert rep.workgroups_per_cu == 2
+
+    def test_more_registers_never_increases_occupancy(self):
+        prev = 2.0
+        for vgprs in (16, 32, 64, 128, 256):
+            occ = occupancy(
+                RADEON_HD_7950, workgroup_size=256, vgprs_per_lane=vgprs
+            ).occupancy
+            assert occ <= prev
+            prev = occ
+
+    def test_occupancy_bounded(self):
+        for wg in (64, 128, 256):
+            for vgprs in (8, 64, 200):
+                rep = occupancy(RADEON_HD_7950, workgroup_size=wg, vgprs_per_lane=vgprs)
+                assert 0.0 <= rep.occupancy <= 1.0
+                assert rep.waves_per_cu >= 0
+
+    def test_as_row(self):
+        row = occupancy(RADEON_HD_7950, workgroup_size=128).as_row()
+        assert {"waves_per_cu", "occupancy", "limiter"} <= set(row)
+
+
+class TestValidation:
+    def test_bad_workgroup_size(self):
+        with pytest.raises(ValueError):
+            occupancy(RADEON_HD_7950, workgroup_size=100)
+        with pytest.raises(ValueError):
+            occupancy(RADEON_HD_7950, workgroup_size=512)
+
+    def test_zero_vgprs(self):
+        with pytest.raises(ValueError):
+            occupancy(RADEON_HD_7950, vgprs_per_lane=0)
+
+    def test_too_many_vgprs(self):
+        with pytest.raises(ValueError):
+            occupancy(RADEON_HD_7950, vgprs_per_lane=512)
+
+    def test_lds_overflow(self):
+        with pytest.raises(ValueError):
+            occupancy(RADEON_HD_7950, lds_per_workgroup=10**6)
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            OccupancyLimits(max_waves_per_simd=0)

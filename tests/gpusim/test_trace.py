@@ -1,0 +1,57 @@
+"""Unit tests for execution timelines."""
+
+import pytest
+
+from repro.gpusim.trace import Timeline
+
+
+@pytest.fixture
+def tl():
+    t = Timeline(3)
+    t.record(0, 0.0, 4.0, "a")
+    t.record(1, 0.0, 2.0, "b")
+    t.record(1, 2.0, 3.0, "c")
+    # pipe 2 stays idle
+    return t
+
+
+class TestRecording:
+    def test_length_and_arrays(self, tl):
+        assert len(tl) == 3
+        assert tl.pipes.tolist() == [0, 1, 1]
+        assert tl.starts.tolist() == [0.0, 0.0, 2.0]
+        assert tl.ends.tolist() == [4.0, 2.0, 3.0]
+        assert tl.tags == ["a", "b", "c"]
+
+    def test_out_of_range_pipe(self, tl):
+        with pytest.raises(ValueError, match="pipe"):
+            tl.record(3, 0.0, 1.0)
+
+    def test_inverted_interval(self, tl):
+        with pytest.raises(ValueError, match="end"):
+            tl.record(0, 2.0, 1.0)
+
+
+class TestMetrics:
+    def test_makespan(self, tl):
+        assert tl.makespan == 4.0
+
+    def test_busy_per_pipe(self, tl):
+        assert tl.busy_per_pipe().tolist() == [4.0, 3.0, 0.0]
+
+    def test_idle_tail(self, tl):
+        # pipe 0 finishes at makespan → tail 0; pipe 1 at 3 → tail 1;
+        # pipe 2 never ran → tail = makespan
+        assert tl.idle_tail_per_pipe().tolist() == [0.0, 1.0, 4.0]
+
+    def test_utilization(self, tl):
+        assert tl.utilization() == pytest.approx(7.0 / 12.0)
+
+    def test_intervals_for_pipe(self, tl):
+        assert tl.intervals_for(1) == [(0.0, 2.0, "b"), (2.0, 3.0, "c")]
+
+    def test_empty_timeline(self):
+        t = Timeline(2)
+        assert t.makespan == 0.0
+        assert t.utilization() == 1.0
+        assert t.busy_per_pipe().tolist() == [0.0, 0.0]

@@ -1,0 +1,103 @@
+"""Unit tests for the lockstep wavefront cost law."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.wavefront import (
+    divergence_stats,
+    num_wavefronts,
+    simd_efficiency,
+    wavefront_costs,
+    wavefront_sums,
+)
+
+
+class TestNumWavefronts:
+    @pytest.mark.parametrize(
+        "items,size,expect", [(0, 64, 0), (1, 64, 1), (64, 64, 1), (65, 64, 2), (128, 64, 2)]
+    )
+    def test_ceiling(self, items, size, expect):
+        assert num_wavefronts(items, size) == expect
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            num_wavefronts(10, 0)
+        with pytest.raises(ValueError):
+            num_wavefronts(-1, 4)
+
+
+class TestWavefrontCosts:
+    def test_lockstep_max(self):
+        costs = wavefront_costs(np.array([1.0, 5.0, 2.0, 3.0]), 4)
+        assert costs.tolist() == [5.0]
+
+    def test_multiple_wavefronts(self):
+        item = np.array([1.0, 2.0, 3.0, 4.0, 10.0, 1.0])
+        costs = wavefront_costs(item, 2)
+        assert costs.tolist() == [2.0, 4.0, 10.0]
+
+    def test_partial_trailing_wavefront(self):
+        costs = wavefront_costs(np.array([1.0, 2.0, 7.0]), 2)
+        assert costs.tolist() == [2.0, 7.0]
+
+    def test_empty(self):
+        assert wavefront_costs(np.array([]), 4).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wavefront_costs(np.array([-1.0]), 4)
+
+    def test_sums(self):
+        sums = wavefront_sums(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        assert sums.tolist() == [3.0, 7.0]
+
+
+class TestSimdEfficiency:
+    def test_uniform_is_one(self):
+        assert simd_efficiency(np.full(128, 3.0), 64) == pytest.approx(1.0)
+
+    def test_single_heavy_lane(self):
+        item = np.ones(64)
+        item[0] = 64.0
+        # useful = 63 + 64 = 127; lockstep area = 64 * 64
+        assert simd_efficiency(item, 64) == pytest.approx(127 / 4096)
+
+    def test_partial_wavefront_charged_for_idle_lanes(self):
+        # one item in a 4-lane wavefront: 3 lanes idle
+        assert simd_efficiency(np.array([2.0]), 4) == pytest.approx(0.25)
+
+    def test_empty_is_one(self):
+        assert simd_efficiency(np.array([]), 64) == 1.0
+
+    def test_all_zero_cost(self):
+        assert simd_efficiency(np.zeros(10), 4) == 1.0
+
+
+class TestDivergenceStats:
+    def test_hand_computed(self):
+        item = np.array([1.0, 3.0, 2.0, 2.0])  # two 2-lane wavefronts
+        s = divergence_stats(item, 2)
+        assert s.num_wavefronts == 2
+        assert s.total_lockstep_cycles == pytest.approx(5.0)
+        assert s.total_useful_cycles == pytest.approx(8.0)
+        assert s.simd_efficiency == pytest.approx(8.0 / 10.0)
+        assert s.max_wavefront_cycles == 3.0
+        assert s.mean_wavefront_cycles == 2.5
+        assert s.wavefront_cv == pytest.approx(0.5 / 2.5)
+
+    def test_empty(self):
+        s = divergence_stats(np.array([]), 4)
+        assert s.num_wavefronts == 0
+        assert s.simd_efficiency == 1.0
+
+    def test_as_row_keys(self):
+        s = divergence_stats(np.arange(8, dtype=float), 4)
+        row = s.as_row()
+        assert {"wavefronts", "simd_eff", "wf_cv"} <= set(row)
+
+    def test_skew_lowers_efficiency(self):
+        uniform = divergence_stats(np.full(256, 10.0), 64)
+        skewed_items = np.full(256, 1.0)
+        skewed_items[::64] = 100.0
+        skewed = divergence_stats(skewed_items, 64)
+        assert skewed.simd_efficiency < uniform.simd_efficiency

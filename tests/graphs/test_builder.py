@@ -1,0 +1,109 @@
+"""Unit tests for the incremental graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.csr import CSRGraph
+
+
+class TestBasicBuild:
+    def test_empty(self):
+        g = GraphBuilder(3).build()
+        assert g == CSRGraph.empty(3)
+
+    def test_single_edge(self):
+        g = GraphBuilder().add_edge(0, 1).build()
+        assert g.num_vertices == 2
+        assert g.has_edge(0, 1)
+
+    def test_vertices_autogrow(self):
+        b = GraphBuilder()
+        b.add_edge(2, 7)
+        assert b.num_vertices == 8
+
+    def test_duplicates_and_loops_removed_at_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 0), (0, 1), (2, 2)])
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.degree(2) == 0
+
+    def test_matches_from_edges(self):
+        ref = gen.rmat(7, edge_factor=5, seed=0)
+        u, v = ref.edge_array()
+        b = GraphBuilder()
+        b.add_edges(zip(u.tolist(), v.tolist()))
+        assert b.build(num_vertices=ref.num_vertices) == ref
+
+    def test_array_fast_path(self):
+        ref = gen.erdos_renyi(100, avg_degree=5, seed=1)
+        u, v = ref.edge_array()
+        b = GraphBuilder()
+        b.add_edge_arrays(u, v)
+        assert b.build(num_vertices=100) == ref
+
+    def test_mixed_paths(self):
+        b = GraphBuilder()
+        b.add_edge_arrays(np.array([0, 1]), np.array([1, 2]))
+        b.add_edge(2, 3)
+        g = b.build()
+        assert g.num_edges == 3
+
+
+class TestFlushing:
+    def test_small_flush_threshold(self):
+        b = GraphBuilder(flush_at=4)
+        for i in range(20):
+            b.add_edge(i, i + 1)
+        g = b.build()
+        assert g.num_edges == 20
+        assert b.num_buffered_edges == 20
+
+    def test_build_is_non_destructive(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+
+
+class TestVertexManagement:
+    def test_add_vertex_sequence(self):
+        b = GraphBuilder()
+        assert b.add_vertex() == 0
+        assert b.add_vertex() == 1
+
+    def test_ensure_vertex(self):
+        b = GraphBuilder()
+        b.ensure_vertex(5)
+        assert b.num_vertices == 6
+        b.ensure_vertex(2)  # no shrink
+        assert b.num_vertices == 6
+
+    def test_build_widens_vertex_range(self):
+        g = GraphBuilder().add_edge(0, 1).build(num_vertices=10)
+        assert g.num_vertices == 10
+
+
+class TestValidation:
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(-1, 0)
+        with pytest.raises(ValueError):
+            GraphBuilder().ensure_vertex(-2)
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge_arrays(np.array([-1]), np.array([0]))
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge_arrays(np.array([0, 1]), np.array([1]))
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)
+        with pytest.raises(ValueError):
+            GraphBuilder(flush_at=0)

@@ -1,0 +1,217 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.stats import degree_cv
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_target(self):
+        g = gen.erdos_renyi(2000, avg_degree=10, seed=0)
+        assert g.num_vertices == 2000
+        # duplicates cost a few percent at this density
+        assert 0.9 * 10000 <= g.num_edges <= 1.1 * 10000
+
+    def test_deterministic(self):
+        assert gen.erdos_renyi(200, seed=7) == gen.erdos_renyi(200, seed=7)
+        assert gen.erdos_renyi(200, seed=7) != gen.erdos_renyi(200, seed=8)
+
+    def test_zero_degree(self):
+        g = gen.erdos_renyi(50, avg_degree=0, seed=0)
+        assert g.num_edges == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(0)
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, avg_degree=20)
+
+
+class TestRmat:
+    def test_size(self):
+        g = gen.rmat(10, edge_factor=8, seed=0)
+        assert g.num_vertices == 1024
+        assert g.num_edges > 1024  # dedup/self-loop losses, but plenty left
+
+    def test_skewed_degrees(self):
+        skewed = gen.rmat(10, edge_factor=8, seed=0)
+        uniform = gen.erdos_renyi(1024, avg_degree=16, seed=0)
+        assert degree_cv(skewed) > 3 * degree_cv(uniform)
+
+    def test_deterministic(self):
+        assert gen.rmat(8, seed=3) == gen.rmat(8, seed=3)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(8, a=0.9, b=0.9, c=0.9)
+        with pytest.raises(ValueError):
+            gen.rmat(0)
+
+
+class TestBarabasiAlbert:
+    def test_growth(self):
+        g = gen.barabasi_albert(500, attach=3, seed=0)
+        assert g.num_vertices == 500
+        # each arrival adds at most `attach` edges
+        assert g.num_edges <= 3 + 497 * 3
+        assert g.num_edges >= 497  # at least one per arrival
+
+    def test_min_degree_positive(self):
+        g = gen.barabasi_albert(300, attach=2, seed=1)
+        assert g.degrees.min() >= 1
+
+    def test_hub_emerges(self):
+        g = gen.barabasi_albert(2000, attach=4, seed=0)
+        assert g.max_degree > 5 * g.mean_degree
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(3, attach=4)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(10, attach=0)
+
+
+class TestPowerlawCluster:
+    def test_size_and_determinism(self):
+        g = gen.powerlaw_cluster(200, attach=3, seed=2)
+        assert g.num_vertices == 200
+        assert g == gen.powerlaw_cluster(200, attach=3, seed=2)
+
+    def test_clustering_beats_ba(self):
+        from repro.graphs.stats import clustering_coefficient_estimate
+
+        plc = gen.powerlaw_cluster(400, attach=4, triangle_p=0.9, seed=0)
+        ba = gen.barabasi_albert(400, attach=4, seed=0)
+        assert clustering_coefficient_estimate(
+            plc, samples=400
+        ) > clustering_coefficient_estimate(ba, samples=400)
+
+    def test_rejects_bad_triangle_p(self):
+        with pytest.raises(ValueError):
+            gen.powerlaw_cluster(100, triangle_p=1.5)
+
+
+class TestGrids:
+    def test_grid2d_structure(self):
+        g = gen.grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+        assert g.max_degree == 4
+
+    def test_grid2d_diagonals(self):
+        g = gen.grid_2d(3, 3, diagonals=True)
+        assert g.max_degree == 8
+        assert g.has_edge(0, 4)  # diagonal through center
+
+    def test_grid3d_structure(self):
+        g = gen.grid_3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert g.max_degree == 6
+        assert g.degree(0) == 3  # corner
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            gen.grid_2d(0, 5)
+        with pytest.raises(ValueError):
+            gen.grid_3d(2, 0, 2)
+
+
+class TestSpatial:
+    def test_delaunay_planar_degrees(self):
+        g = gen.delaunay_mesh(500, seed=0)
+        assert g.num_vertices == 500
+        # planar: m <= 3n - 6
+        assert g.num_edges <= 3 * 500 - 6
+        assert 5.0 < g.mean_degree < 6.1  # Delaunay average ≈ 6
+
+    def test_delaunay_connected_mesh(self):
+        from repro.graphs.stats import connected_components
+
+        g = gen.delaunay_mesh(200, seed=1)
+        assert connected_components(g).max() == 0
+
+    def test_geometric_default_radius(self):
+        g = gen.random_geometric(1000, seed=0)
+        assert 4 < g.mean_degree < 14  # targets ≈ 8
+
+    def test_geometric_explicit_radius_monotone(self):
+        small = gen.random_geometric(400, radius=0.03, seed=0)
+        large = gen.random_geometric(400, radius=0.08, seed=0)
+        assert large.num_edges > small.num_edges
+
+    def test_delaunay_needs_three_points(self):
+        with pytest.raises(ValueError):
+            gen.delaunay_mesh(2)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = gen.watts_strogatz(20, k=4, rewire_p=0.0, seed=0)
+        assert np.all(g.degrees == 4)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_rewire_perturbs(self):
+        ring = gen.watts_strogatz(100, k=6, rewire_p=0.0, seed=0)
+        rewired = gen.watts_strogatz(100, k=6, rewire_p=0.5, seed=0)
+        assert rewired != ring
+        # edge count shrinks only slightly (self-loop/dup drops)
+        assert rewired.num_edges >= 0.9 * ring.num_edges
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(20, k=3)
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(5, k=6)
+
+
+class TestRandomRegular:
+    def test_near_regular(self):
+        g = gen.random_regular(400, degree=10, seed=0)
+        assert g.num_vertices == 400
+        assert g.max_degree <= 10
+        assert g.num_edges >= 0.97 * 2000
+        assert degree_cv(g) < 0.1
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            gen.random_regular(5, degree=3)
+
+    def test_rejects_degree_ge_n(self):
+        with pytest.raises(ValueError):
+            gen.random_regular(4, degree=4)
+
+
+class TestMicroStructures:
+    def test_star(self):
+        g = gen.star(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_star_zero_leaves(self):
+        assert gen.star(0).num_vertices == 1
+
+    def test_clique(self):
+        g = gen.clique(5)
+        assert g.num_edges == 10
+        assert np.all(g.degrees == 4)
+
+    def test_path_and_cycle(self):
+        assert gen.path(6).num_edges == 5
+        assert gen.path(1).num_edges == 0
+        assert gen.cycle(6).num_edges == 6
+        assert np.all(gen.cycle(6).degrees == 2)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(2, 3)
+        assert g.num_edges == 6
+        assert g.degree(0) == 3
+        assert g.degree(2) == 2
+        assert not g.has_edge(0, 1)  # same side
+        assert not g.has_edge(2, 3)

@@ -1,0 +1,166 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import stats
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        h = stats.degree_histogram(gen.star(4))
+        assert h[1] == 4
+        assert h[4] == 1
+
+    def test_regular_graph_single_bucket(self):
+        h = stats.degree_histogram(gen.cycle(10))
+        assert h[2] == 10
+        assert h.sum() == 10
+
+
+class TestDegreeCV:
+    def test_regular_is_zero(self):
+        assert stats.degree_cv(gen.cycle(20)) == 0.0
+
+    def test_skewed_is_large(self):
+        assert stats.degree_cv(gen.star(50)) > 2.0
+
+    def test_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        assert stats.degree_cv(CSRGraph.empty(0)) == 0.0
+        assert stats.degree_cv(CSRGraph.empty(5)) == 0.0
+
+
+class TestSkewness:
+    def test_near_poisson_small(self):
+        # ER degrees are ~Poisson(16): skewness ≈ 1/sqrt(16) = 0.25
+        assert abs(stats.degree_skewness(gen.erdos_renyi(3000, avg_degree=16, seed=0))) < 1.0
+
+    def test_star_positive(self):
+        assert stats.degree_skewness(gen.star(100)) > 5.0
+
+    def test_constant_degrees_zero(self):
+        assert stats.degree_skewness(gen.cycle(12)) == 0.0
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert stats.gini_coefficient(np.full(10, 7.0)) == pytest.approx(0.0)
+
+    def test_total_concentration_near_one(self):
+        x = np.zeros(100)
+        x[0] = 1.0
+        assert stats.gini_coefficient(x) > 0.95
+
+    def test_known_value(self):
+        # sample Gini of {0, 1}: (2·(1·0 + 2·1) − 3·1) / (2·1) = 0.5
+        assert stats.gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stats.gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_empty_and_zero(self):
+        assert stats.gini_coefficient(np.array([])) == 0.0
+        assert stats.gini_coefficient(np.zeros(5)) == 0.0
+
+
+class TestPowerlawAlpha:
+    def test_ba_alpha_in_range(self):
+        g = gen.barabasi_albert(5000, attach=4, seed=0)
+        alpha = stats.powerlaw_alpha_estimate(g, dmin=4)
+        assert 1.8 < alpha < 4.0  # BA theory: α → 3
+
+    def test_too_few_vertices_nan(self):
+        assert np.isnan(stats.powerlaw_alpha_estimate(gen.path(5), dmin=10))
+
+
+class TestConnectedComponents:
+    def test_connected(self):
+        labels = stats.connected_components(gen.grid_2d(5, 5))
+        assert labels.max() == 0
+
+    def test_two_components(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges([0, 2], [1, 3], num_vertices=4)
+        labels = stats.connected_components(g)
+        assert labels.max() == 1
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+
+class TestClustering:
+    def test_clique_is_one(self):
+        assert stats.clustering_coefficient_estimate(gen.clique(6)) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self):
+        assert stats.clustering_coefficient_estimate(gen.star(20)) == 0.0
+
+    def test_no_eligible_vertices(self):
+        assert stats.clustering_coefficient_estimate(gen.path(2)) == 0.0
+
+
+class TestCoreNumbers:
+    def test_clique(self):
+        cores = stats.core_numbers(gen.clique(6))
+        assert np.all(cores == 5)
+        assert stats.degeneracy(gen.clique(6)) == 5
+
+    def test_star_is_one_degenerate(self):
+        cores = stats.core_numbers(gen.star(10))
+        assert np.all(cores == 1)
+
+    def test_path(self):
+        assert stats.degeneracy(gen.path(10)) == 1
+
+    def test_lollipop_mixed_cores(self):
+        # a K4 with a pendant path: clique vertices core 3, path core 1
+        from repro.graphs.csr import CSRGraph
+
+        iu, iv = np.triu_indices(4, 1)
+        g = CSRGraph.from_edges(
+            np.concatenate([iu, [0, 4]]),
+            np.concatenate([iv, [4, 5]]),
+            num_vertices=6,
+        )
+        cores = stats.core_numbers(g)
+        assert np.all(cores[:4] == 3)
+        assert cores[4] == 1 and cores[5] == 1
+
+    def test_planar_bound(self):
+        assert stats.degeneracy(gen.delaunay_mesh(300, seed=0)) <= 5
+
+    def test_degeneracy_bounds_smallest_last_colors(self):
+        from repro.coloring.sequential import smallest_last
+
+        g = gen.rmat(7, edge_factor=5, seed=1)
+        assert smallest_last(g).num_colors <= stats.degeneracy(g) + 1
+
+    def test_empty(self):
+        from repro.graphs.csr import CSRGraph
+
+        assert stats.degeneracy(CSRGraph.empty(0)) == 0
+        assert stats.core_numbers(CSRGraph.empty(3)).tolist() == [0, 0, 0]
+
+
+class TestSummarize:
+    def test_row_fields(self):
+        s = stats.summarize(gen.grid_2d(4, 4), "grid", notes="mesh")
+        row = s.as_row()
+        assert row["graph"] == "grid"
+        assert row["|V|"] == 16
+        assert row["|E|"] == 24
+        assert row["d_max"] == 4
+        assert row["components"] == 1
+        assert s.notes == "mesh"
+
+    def test_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        s = stats.summarize(CSRGraph.empty(0), "void")
+        assert s.num_components == 0
+        assert s.num_vertices == 0

@@ -1,0 +1,67 @@
+"""Unit tests for the batch runner."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.batch import BatchJob, run_batch, save_rows_csv, save_rows_json
+
+
+class TestBatchJob:
+    def test_default_name(self):
+        job = BatchJob("road", algorithm="jp", mapping="hybrid")
+        assert job.name == "road/jp:hybrid+grid"
+
+    def test_label_overrides(self):
+        assert BatchJob("road", label="baseline").name == "baseline"
+
+
+class TestRunBatch:
+    def test_rows_cover_jobs(self):
+        jobs = [
+            BatchJob("road"),
+            BatchJob("road", mapping="hybrid"),
+            BatchJob("powerlaw", algorithm="jp", schedule="stealing"),
+        ]
+        rows = run_batch(jobs, scale="tiny")
+        assert len(rows) == 3
+        assert rows[0]["dataset"] == "road"
+        assert rows[2]["algorithm"] == "jp"
+        assert all(r["time_ms"] > 0 for r in rows)
+        assert all(r["colors"] >= 1 for r in rows)
+
+    def test_config_forwarded(self):
+        rows = run_batch(
+            [BatchJob("powerlaw", schedule="stealing", config={"chunk_size": 512})],
+            scale="tiny",
+        )
+        assert rows[0]["schedule"] == "stealing"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            run_batch([BatchJob("facebook")], scale="tiny")
+
+
+class TestPersistence:
+    @pytest.fixture
+    def rows(self):
+        return run_batch([BatchJob("road")], scale="tiny")
+
+    def test_json_roundtrip(self, rows, tmp_path):
+        p = tmp_path / "out" / "rows.json"
+        save_rows_json(rows, p)
+        loaded = json.loads(p.read_text())
+        assert loaded[0]["dataset"] == "road"
+
+    def test_csv_roundtrip(self, rows, tmp_path):
+        p = tmp_path / "rows.csv"
+        save_rows_csv(rows, p)
+        with p.open() as fh:
+            loaded = list(csv.DictReader(fh))
+        assert loaded[0]["dataset"] == "road"
+        assert set(loaded[0]) == set(rows[0])
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_rows_csv([], tmp_path / "x.csv")

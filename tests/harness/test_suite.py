@@ -1,0 +1,62 @@
+"""Unit tests for the dataset suite."""
+
+import pytest
+
+from repro.harness.suite import SCALES, SUITE, build, suite_names, summarize_suite
+
+
+class TestSuiteRegistry:
+    def test_ten_datasets(self):
+        assert len(SUITE) == 10
+
+    def test_both_classes_present(self):
+        skewed = suite_names(skewed_only=True)
+        uniform = suite_names(skewed_only=False)
+        assert len(skewed) >= 3
+        assert len(uniform) >= 5
+        assert set(skewed) | set(uniform) == set(SUITE)
+
+    def test_all_scales_build_tiny(self):
+        for name in SUITE:
+            g = build(name, "tiny")
+            assert 0 < g.num_vertices <= 512
+            assert g.num_edges > 0
+
+    def test_scales_grow(self):
+        for name in ("rmat", "road", "grid2d"):
+            tiny = build(name, "tiny")
+            small = build(name, "small")
+            assert small.num_vertices > 2 * tiny.num_vertices
+
+    def test_build_caches(self):
+        assert build("road", "tiny") is build("road", "tiny")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            build("facebook")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError, match="unknown scale"):
+            build("rmat", "huge")
+
+    def test_skewed_flags_match_structure(self):
+        from repro.graphs.stats import degree_cv
+
+        for name, spec in SUITE.items():
+            cv = degree_cv(build(name, "small"))
+            if spec.skewed:
+                assert cv > 0.8, name
+            else:
+                assert cv < 0.8, name
+
+
+class TestSummarizeSuite:
+    def test_rows_cover_suite(self):
+        rows = summarize_suite("tiny")
+        assert len(rows) == 10
+        assert {r.name for r in rows} == set(SUITE)
+        for r in rows:
+            assert r.num_vertices > 0
+
+    def test_scales_constant(self):
+        assert SCALES == ("tiny", "small", "standard")

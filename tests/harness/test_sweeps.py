@@ -1,0 +1,52 @@
+"""Unit tests for the sweep utilities."""
+
+import pytest
+
+from repro.harness.sweeps import grid_points, sweep, sweep1d
+
+
+class TestGridPoints:
+    def test_cartesian_product(self):
+        pts = grid_points({"a": [1, 2], "b": ["x", "y"]})
+        assert len(pts) == 4
+        assert {"a": 1, "b": "x"} in pts
+        assert {"a": 2, "b": "y"} in pts
+
+    def test_row_major_in_key_order(self):
+        pts = grid_points({"a": [1, 2], "b": [10, 20]})
+        assert pts[0] == {"a": 1, "b": 10}
+        assert pts[1] == {"a": 1, "b": 20}
+
+    def test_empty_grid(self):
+        assert grid_points({}) == [{}]
+
+    def test_single_axis(self):
+        assert grid_points({"k": [3]}) == [{"k": 3}]
+
+
+class TestSweep:
+    def test_scalar_measurements(self):
+        rows = sweep(lambda x: x * 2, {"x": [1, 2, 3]})
+        assert rows == [
+            {"x": 1, "value": 2},
+            {"x": 2, "value": 4},
+            {"x": 3, "value": 6},
+        ]
+
+    def test_dict_measurements_merge(self):
+        rows = sweep(lambda x: {"sq": x * x}, {"x": [2]})
+        assert rows == [{"x": 2, "sq": 4}]
+
+    def test_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            sweep(lambda x: {"x": 0}, {"x": [1]})
+
+    def test_multi_parameter(self):
+        rows = sweep(lambda a, b: a + b, {"a": [1, 2], "b": [10]})
+        assert [r["value"] for r in rows] == [11, 12]
+
+
+class TestSweep1d:
+    def test_basic(self):
+        rows = sweep1d(lambda v: v + 1, "n", [5, 6])
+        assert rows == [{"n": 5, "value": 6}, {"n": 6, "value": 7}]

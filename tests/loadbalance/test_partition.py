@@ -1,0 +1,128 @@
+"""Unit tests for static partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.partition import (
+    chunk_costs,
+    chunk_ranges,
+    cost_balanced_partition,
+    degree_bins,
+    partition_by_threshold,
+    static_partition,
+)
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        r = chunk_ranges(8, 4)
+        assert r.tolist() == [[0, 4], [4, 8]]
+
+    def test_trailing_partial(self):
+        r = chunk_ranges(10, 4)
+        assert r.tolist() == [[0, 4], [4, 8], [8, 10]]
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4).shape == (0, 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+
+
+class TestStaticPartition:
+    def test_equal_counts(self):
+        r = static_partition(9, 3)
+        assert r.tolist() == [[0, 3], [3, 6], [6, 9]]
+
+    def test_remainder_to_early_workers(self):
+        r = static_partition(10, 3)
+        sizes = (r[:, 1] - r[:, 0]).tolist()
+        assert sizes == [4, 3, 3]
+        assert r[0, 0] == 0 and r[-1, 1] == 10
+
+    def test_more_workers_than_items(self):
+        r = static_partition(2, 5)
+        sizes = (r[:, 1] - r[:, 0]).tolist()
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_covering_and_contiguous(self):
+        r = static_partition(17, 4)
+        assert r[0, 0] == 0
+        assert r[-1, 1] == 17
+        assert np.array_equal(r[1:, 0], r[:-1, 1])
+
+
+class TestCostBalancedPartition:
+    def test_balances_skewed_costs(self):
+        costs = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        r = cost_balanced_partition(costs, 2)
+        loads = chunk_costs(costs, r)
+        # naive halves would be [13, 5]; balanced split puts the 10 alone-ish
+        assert loads.max() <= 13.0
+        assert loads.max() < costs.sum()
+        assert r[0, 0] == 0 and r[-1, 1] == 10
+
+    def test_uniform_matches_static(self):
+        r = cost_balanced_partition(np.ones(12), 4)
+        sizes = (r[:, 1] - r[:, 0]).tolist()
+        assert sizes == [3, 3, 3, 3]
+
+    def test_zero_costs_fall_back(self):
+        r = cost_balanced_partition(np.zeros(8), 2)
+        assert r[-1, 1] == 8
+
+    def test_empty(self):
+        r = cost_balanced_partition(np.array([]), 3)
+        assert np.all(r == 0)
+
+    def test_monotone_covering(self):
+        rng = np.random.default_rng(1)
+        costs = rng.pareto(1.5, size=100)
+        r = cost_balanced_partition(costs, 7)
+        assert r[0, 0] == 0 and r[-1, 1] == 100
+        assert np.all(r[:, 0] <= r[:, 1])
+        assert np.array_equal(r[1:, 0], r[:-1, 1])
+
+
+class TestThresholdPartition:
+    def test_split(self):
+        low, high = partition_by_threshold(np.array([1, 5, 10, 4]), 5)
+        assert low.tolist() == [0, 3]
+        assert high.tolist() == [1, 2]
+
+    def test_all_low(self):
+        low, high = partition_by_threshold(np.array([1, 2]), 100)
+        assert low.size == 2 and high.size == 0
+
+
+class TestDegreeBins:
+    def test_binning(self):
+        bins = degree_bins(np.array([0, 3, 8, 64, 1000]), [4, 64, 256])
+        assert bins.tolist() == [0, 0, 1, 2, 3]
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            degree_bins(np.array([1]), [4, 4])
+        with pytest.raises(ValueError):
+            degree_bins(np.array([1]), [])
+
+
+class TestChunkCosts:
+    def test_sums(self):
+        costs = np.array([1.0, 2.0, 3.0, 4.0])
+        r = np.array([[0, 2], [2, 4]])
+        assert chunk_costs(costs, r).tolist() == [3.0, 7.0]
+
+    def test_empty_chunk(self):
+        assert chunk_costs(np.array([1.0]), np.array([[0, 0]])).tolist() == [0.0]
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            chunk_costs(np.ones(4), np.array([[2, 1]]))
+        with pytest.raises(ValueError):
+            chunk_costs(np.ones(4), np.array([[0, 9]]))
+        with pytest.raises(ValueError):
+            chunk_costs(np.ones(4), np.array([0, 2]))

@@ -1,0 +1,162 @@
+"""Unit tests for the work-stealing runtime."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.workstealing import (
+    StealingConfig,
+    simulate_static_persistent,
+    simulate_work_stealing,
+)
+
+
+def skewed_chunks(num_chunks=64, seed=0):
+    rng = np.random.default_rng(seed)
+    costs = rng.pareto(1.2, size=num_chunks) * 100 + 10
+    owner = np.arange(num_chunks) // (num_chunks // 4)  # 4 workers, slabs
+    return costs, owner
+
+
+class TestStaticPersistent:
+    def test_hand_case(self):
+        costs = np.array([5.0, 1.0, 1.0])
+        owner = np.array([0, 1, 1])
+        res = simulate_static_persistent(costs, owner, 2, pop_cycles=0.0)
+        assert res.makespan_cycles == 5.0
+        assert res.busy_cycles.tolist() == [5.0, 2.0]
+        assert res.chunks_executed.tolist() == [1, 2]
+        assert res.load_imbalance == pytest.approx(5.0 / 3.5)
+
+    def test_pop_overhead_counted(self):
+        res = simulate_static_persistent(
+            np.array([1.0, 1.0]), np.array([0, 0]), 1, pop_cycles=2.0
+        )
+        assert res.makespan_cycles == pytest.approx(6.0)
+        assert res.total_overhead == pytest.approx(4.0)
+
+    def test_rejects_bad_owner(self):
+        with pytest.raises(ValueError):
+            simulate_static_persistent(np.array([1.0]), np.array([5]), 2)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            simulate_static_persistent(np.array([1.0, 2.0]), np.array([0]), 2)
+
+
+class TestWorkStealing:
+    def test_all_work_executes(self):
+        costs, owner = skewed_chunks()
+        cfg = StealingConfig(num_workers=4, seed=1)
+        res = simulate_work_stealing(costs, owner, cfg)
+        assert res.busy_cycles.sum() == pytest.approx(costs.sum())
+        assert res.chunks_executed.sum() == costs.size
+
+    def test_beats_static_on_skewed_load(self):
+        # all chunks start on worker 0 — static is maximally imbalanced
+        costs = np.full(32, 100.0)
+        owner = np.zeros(32, dtype=np.int64)
+        cfg = StealingConfig(num_workers=4, steal_cycles=10.0, seed=0)
+        stealing = simulate_work_stealing(costs, owner, cfg)
+        static = simulate_static_persistent(costs, owner, 4)
+        assert stealing.makespan_cycles < 0.5 * static.makespan_cycles
+        assert stealing.steals_succeeded > 0
+        assert stealing.chunks_migrated > 0
+
+    def test_balanced_load_steals_little(self):
+        costs = np.full(40, 10.0)
+        owner = np.arange(40) % 4
+        cfg = StealingConfig(num_workers=4, seed=0)
+        res = simulate_work_stealing(costs, owner, cfg)
+        # each worker has equal work; stealing shouldn't migrate much
+        assert res.chunks_migrated <= 10
+        assert res.load_imbalance < 1.1
+
+    def test_deterministic(self):
+        costs, owner = skewed_chunks()
+        cfg = StealingConfig(num_workers=4, seed=42)
+        a = simulate_work_stealing(costs, owner, cfg)
+        b = simulate_work_stealing(costs, owner, cfg)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.steal_attempts == b.steal_attempts
+        assert np.array_equal(a.busy_cycles, b.busy_cycles)
+
+    def test_richest_policy_avoids_empty_victims(self):
+        costs = np.full(16, 50.0)
+        owner = np.zeros(16, dtype=np.int64)
+        cfg = StealingConfig(num_workers=4, steal_policy="richest", seed=0)
+        res = simulate_work_stealing(costs, owner, cfg)
+        assert res.busy_cycles.sum() == pytest.approx(costs.sum())
+        # richest policy: every attempt while work exists succeeds
+        assert res.steals_succeeded >= res.steal_attempts - 3 * 4
+
+    def test_steal_overhead_charged(self):
+        costs = np.full(8, 10.0)
+        owner = np.zeros(8, dtype=np.int64)
+        cfg = StealingConfig(num_workers=2, steal_cycles=7.0, pop_cycles=1.0, seed=0)
+        res = simulate_work_stealing(costs, owner, cfg)
+        expected = res.steal_attempts * 7.0 + res.chunks_executed.sum() * 1.0
+        assert res.total_overhead == pytest.approx(expected)
+
+    def test_single_worker_degenerates_to_serial(self):
+        costs = np.array([3.0, 4.0, 5.0])
+        res = simulate_work_stealing(
+            costs, np.zeros(3, dtype=np.int64), StealingConfig(num_workers=1)
+        )
+        assert res.busy_cycles.tolist() == [12.0]
+        assert res.steal_attempts == 0
+
+    def test_empty_workload(self):
+        res = simulate_work_stealing(
+            np.array([]), np.array([]), StealingConfig(num_workers=3)
+        )
+        assert res.makespan_cycles == 0.0
+        assert res.chunks_executed.sum() == 0
+
+    def test_timeline_recording(self):
+        costs = np.full(8, 5.0)
+        owner = np.zeros(8, dtype=np.int64)
+        cfg = StealingConfig(num_workers=2, seed=0)
+        res = simulate_work_stealing(costs, owner, cfg, record_timeline=True)
+        assert res.timeline is not None
+        chunk_ends = [
+            e
+            for e, t in zip(res.timeline.ends, res.timeline.tags)
+            if t.startswith("chunk")
+        ]
+        assert len(chunk_ends) == 8
+        assert max(chunk_ends) == pytest.approx(res.makespan_cycles)
+
+    def test_makespan_never_below_critical_chunk(self):
+        costs = np.array([1000.0, 1.0, 1.0, 1.0])
+        owner = np.array([0, 1, 2, 3])
+        res = simulate_work_stealing(
+            costs, owner, StealingConfig(num_workers=4, seed=0)
+        )
+        assert res.makespan_cycles >= 1000.0
+
+    def test_as_row_keys(self):
+        costs, owner = skewed_chunks(8)
+        res = simulate_work_stealing(
+            costs, owner, StealingConfig(num_workers=4, seed=0)
+        )
+        assert {"makespan", "steals_ok", "migrated"} <= set(res.as_row())
+
+
+class TestStealingConfigValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            StealingConfig(num_workers=2, steal_policy="greedy")
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            StealingConfig(num_workers=2, steal_fraction=0.0)
+        with pytest.raises(ValueError):
+            StealingConfig(num_workers=2, steal_fraction=1.5)
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            StealingConfig(num_workers=0)
+
+    def test_negative_overheads(self):
+        with pytest.raises(ValueError):
+            StealingConfig(num_workers=1, steal_cycles=-1)

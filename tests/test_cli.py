@@ -1,0 +1,155 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators as gen
+from repro.graphs.io import write_dimacs_coloring
+
+
+class TestSuiteCommand:
+    def test_prints_table(self, capsys):
+        assert main(["suite", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "rmat" in out
+        assert "|V|" in out
+
+
+class TestColorCommand:
+    def test_gpu_run_on_dataset(self, capsys):
+        assert main(["color", "road", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "result (validated)" in out
+        assert "algorithm" in out
+
+    def test_cpu_algorithm(self, capsys):
+        assert main(["color", "road", "--scale", "tiny", "-a", "dsatur"]) == 0
+        assert "dsatur" in capsys.readouterr().out
+
+    def test_iterations_flag(self, capsys):
+        assert main(["color", "grid2d", "--scale", "tiny", "--iterations"]) == 0
+        assert "iterations" in capsys.readouterr().out
+
+    def test_mapping_and_schedule_options(self, capsys):
+        rc = main(
+            [
+                "color",
+                "powerlaw",
+                "--scale",
+                "tiny",
+                "--mapping",
+                "hybrid",
+                "--schedule",
+                "stealing",
+                "--degree-threshold",
+                "32",
+                "--sort-by-degree",
+            ]
+        )
+        assert rc == 0
+
+    def test_file_input(self, tmp_path, capsys):
+        p = tmp_path / "g.col"
+        write_dimacs_coloring(gen.cycle(9), p)
+        assert main(["color", str(p)]) == 0
+        assert "g.col" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["color", "no-such-graph"])
+
+
+class TestCompareCommand:
+    def test_all_algorithms_listed(self, capsys):
+        assert main(["compare", "road", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for name in ("maxmin", "jones-plassmann", "speculative", "hybrid-switch", "dsatur"):
+            assert name in out
+
+
+class TestStatsCommand:
+    def test_structure_and_layouts(self, capsys):
+        assert main(["stats", "road", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "degree histogram" in out
+        assert "rcm" in out
+        assert "bandwidth" in out
+
+
+class TestConvertCommand:
+    def test_dataset_to_dimacs(self, tmp_path, capsys):
+        out_path = tmp_path / "out.col"
+        assert main(["convert", "road", str(out_path), "--scale", "tiny"]) == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_file_to_file_roundtrip(self, tmp_path):
+        from repro.graphs.io import load_graph
+
+        src = tmp_path / "g.col"
+        write_dimacs_coloring(gen.cycle(9), src)
+        dst = tmp_path / "g.mtx"
+        assert main(["convert", str(src), str(dst)]) == 0
+        assert load_graph(dst) == load_graph(src)
+
+
+class TestSweepCommand:
+    def test_chunk_size_sweep(self, capsys):
+        rc = main(
+            ["sweep", "powerlaw", "--parameter", "chunk_size", "256", "512", "--scale", "tiny"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chunk_size" in out
+        assert "time_ms" in out
+
+    def test_threshold_sweep_with_hybrid(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "powerlaw",
+                "--parameter",
+                "degree_threshold",
+                "16",
+                "64",
+                "--mapping",
+                "hybrid",
+                "--schedule",
+                "grid",
+                "--scale",
+                "tiny",
+            ]
+        )
+        assert rc == 0
+
+
+class TestTuneCommand:
+    def test_scoreboard_printed(self, capsys):
+        assert main(["tune", "citation", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "autotune scoreboard" in out
+        assert "winner:" in out
+
+    def test_run_flag(self, capsys):
+        assert main(["tune", "road", "--scale", "tiny", "--run"]) == 0
+        assert "tuned run (validated)" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_stealing_schedule_report(self, capsys):
+        rc = main(
+            ["report", "powerlaw", "--scale", "tiny", "--schedule", "stealing"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "full-sweep load profile" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "rmat", "--mapping", "bogus"])

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must stay runnable end-to-end.
+
+The quick examples run as subprocesses; the heavyweight ones
+(device_comparison sweeps three devices at standard scale) are checked
+import-only so the suite stays fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "register_allocation.py",
+    "sparse_solver_scheduling.py",
+    "jacobian_compression.py",
+]
+
+HEAVY_EXAMPLES = [
+    "social_network_imbalance.py",
+    "streaming_updates.py",
+    "device_comparison.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert len(proc.stdout) > 100  # produced a real report
+
+
+@pytest.mark.parametrize("script", HEAVY_EXAMPLES)
+def test_heavy_example_compiles(script):
+    source = (EXAMPLES / script).read_text()
+    compile(source, script, "exec")  # syntax + top-level sanity
+    assert "def main()" in source
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(HEAVY_EXAMPLES)

@@ -1,0 +1,87 @@
+"""Unit tests for performance/imbalance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    coefficient_of_variation,
+    geometric_mean,
+    idle_fraction,
+    imbalance_factor,
+    percent_improvement,
+    speedup,
+)
+
+
+class TestImbalanceFactor:
+    def test_balanced_is_one(self):
+        assert imbalance_factor(np.full(8, 3.0)) == 1.0
+
+    def test_known_value(self):
+        assert imbalance_factor(np.array([1.0, 1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_empty_and_zero(self):
+        assert imbalance_factor(np.array([])) == 1.0
+        assert imbalance_factor(np.zeros(4)) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            imbalance_factor(np.array([-1.0]))
+
+
+class TestCV:
+    def test_constant_is_zero(self):
+        assert coefficient_of_variation(np.full(5, 2.0)) == 0.0
+
+    def test_known_value(self):
+        x = np.array([0.0, 2.0])
+        assert coefficient_of_variation(x) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert coefficient_of_variation(np.array([])) == 0.0
+
+
+class TestIdleFraction:
+    def test_balanced_is_zero(self):
+        assert idle_fraction(np.full(4, 5.0)) == 0.0
+
+    def test_single_straggler(self):
+        # loads [4, 0, 0, 0]: mean 1, max 4 → idle 0.75
+        assert idle_fraction(np.array([4.0, 0, 0, 0])) == pytest.approx(0.75)
+
+    def test_empty_and_zero(self):
+        assert idle_fraction(np.array([])) == 0.0
+        assert idle_fraction(np.zeros(3)) == 0.0
+
+
+class TestSpeedupAndImprovement:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        assert speedup(5.0, 10.0) == 0.5
+
+    def test_percent_improvement(self):
+        assert percent_improvement(100.0, 75.0) == pytest.approx(25.0)
+        assert percent_improvement(100.0, 100.0) == 0.0
+        assert percent_improvement(100.0, 125.0) == -25.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

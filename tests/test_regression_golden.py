@@ -1,0 +1,57 @@
+"""Golden-value regression tests.
+
+``tests/data/golden_tiny.json`` freezes the exact colors/iterations
+every algorithm produces on every tiny-scale suite graph at seed 0.
+Any change to an algorithm, a generator, a priority function, or the
+CSR normalization that alters *results* (rather than timing) trips
+these tests — the guard against silent semantic drift.
+
+Regenerate deliberately (after an intended semantic change) with::
+
+    python - <<'PY'
+    # see the generation snippet in the repo history / this docstring
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import (
+    CPU_ALGORITHMS,
+    GPU_ALGORITHMS,
+    run_cpu_coloring,
+    run_gpu_coloring,
+)
+from repro.harness.suite import build, suite_names
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_tiny.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("dataset", suite_names())
+class TestGoldenValues:
+    def test_gpu_algorithms_unchanged(self, dataset):
+        graph = build(dataset, "tiny")
+        for algo in sorted(GPU_ALGORITHMS):
+            r = run_gpu_coloring(graph, algo, seed=0)
+            expect = GOLDEN[dataset][algo]
+            assert r.num_colors == expect["colors"], f"{dataset}/{algo} colors"
+            assert (
+                r.num_iterations == expect["iterations"]
+            ), f"{dataset}/{algo} iterations"
+
+    def test_cpu_algorithms_unchanged(self, dataset):
+        graph = build(dataset, "tiny")
+        for algo in sorted(CPU_ALGORITHMS):
+            r = run_cpu_coloring(graph, algo)
+            assert (
+                r.num_colors == GOLDEN[dataset][algo]["colors"]
+            ), f"{dataset}/{algo} colors"
+
+
+def test_golden_file_covers_everything():
+    assert set(GOLDEN) == set(suite_names())
+    for entry in GOLDEN.values():
+        assert set(entry) == set(GPU_ALGORITHMS) | set(CPU_ALGORITHMS)
