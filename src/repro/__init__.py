@@ -19,6 +19,7 @@ Public surface (also importable from the subpackages):
 
 * :mod:`repro.graphs` — CSR graphs, generators, I/O, statistics
 * :mod:`repro.gpusim` — the SIMT device/timing model
+* :mod:`repro.engine` — run context, array backends, cached plans
 * :mod:`repro.coloring` — CPU references + simulated GPU algorithms
 * :mod:`repro.loadbalance` — partitioning, dynamic fetch, work stealing
 * :mod:`repro.harness` — the dataset suite and run helpers
@@ -45,6 +46,15 @@ from .coloring import (
     validate_coloring,
     welsh_powell,
 )
+from .engine import (
+    ArrayBackend,
+    ExecutionPlan,
+    PlanCache,
+    RunContext,
+    make_backend,
+    resolve_context,
+)
+from .gpusim import RADEON_HD_7950, DeviceConfig, MemoryModel, named_device
 from .graphs import (
     CSRGraph,
     barabasi_albert,
@@ -59,7 +69,6 @@ from .graphs import (
     summarize,
     watts_strogatz,
 )
-from .gpusim import RADEON_HD_7950, DeviceConfig, MemoryModel, named_device
 from .harness import baseline_executor, build, make_executor, run_gpu_coloring
 from .loadbalance import StealingConfig, simulate_work_stealing
 from .metrics import geometric_mean, imbalance_factor, percent_improvement, speedup
@@ -100,6 +109,13 @@ __all__ = [
     "rmat",
     "summarize",
     "watts_strogatz",
+    # engine
+    "ArrayBackend",
+    "ExecutionPlan",
+    "PlanCache",
+    "RunContext",
+    "make_backend",
+    "resolve_context",
     # gpusim
     "RADEON_HD_7950",
     "DeviceConfig",

@@ -3,8 +3,8 @@
 from .experiment import ExperimentRecord, load_records, render_markdown, save_records
 from .gantt import render_busy_bars, render_gantt
 from .report import run_report
-from .trace_io import save_chrome_trace, timeline_to_trace_events
 from .tables import format_kv, format_series, format_table
+from .trace_io import save_chrome_trace, timeline_to_trace_events
 
 __all__ = [
     "render_busy_bars",

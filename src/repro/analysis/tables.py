@@ -8,7 +8,7 @@ data that would be plotted).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "format_series", "format_kv"]
 

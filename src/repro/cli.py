@@ -22,14 +22,43 @@ from pathlib import Path
 
 from .analysis.tables import format_kv, format_table
 from .coloring.kernels import MAPPINGS, SCHEDULES
+from .engine.backend import BACKENDS
+from .engine.context import RunContext
+from .gpusim.device import named_device
 from .graphs.csr import CSRGraph
 from .graphs.io import load_graph
 from .graphs.stats import summarize
-from .gpusim.device import named_device
-from .harness.runner import CPU_ALGORITHMS, GPU_ALGORITHMS, make_executor, run_cpu_coloring, run_gpu_coloring
+from .harness.runner import (
+    CPU_ALGORITHMS,
+    GPU_ALGORITHMS,
+    make_executor,
+    run_cpu_coloring,
+    run_gpu_coloring,
+)
 from .harness.suite import SCALES, SUITE, build, summarize_suite
 
 __all__ = ["main", "build_parser"]
+
+
+def _version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _make_context(args: argparse.Namespace) -> RunContext:
+    """One RunContext per CLI invocation, from the common options."""
+    return RunContext(
+        device=named_device(args.device),
+        seed=getattr(args, "seed", 0),
+        backend=getattr(args, "backend", "auto"),
+    )
 
 
 def _resolve_graph(name: str, scale: str) -> tuple[CSRGraph, str]:
@@ -50,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-color",
         description="GPU graph coloring on a SIMT timing simulator "
         "(reproduction of Che et al., IPDPSW 2015)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -73,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_color.add_argument("--chunk-size", type=int, default=1024)
     p_color.add_argument("--degree-threshold", type=int, default=64)
     p_color.add_argument("--sort-by-degree", action="store_true")
+    p_color.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help="array backend for the neighborhood primitives",
+    )
     p_color.add_argument(
         "--priority",
         choices=("random", "degree", "smallest_last"),
@@ -162,8 +200,8 @@ def _cmd_color(args: argparse.Namespace) -> int:
     if args.algorithm in CPU_ALGORITHMS:
         result = run_cpu_coloring(graph, args.algorithm)
     else:
-        executor = make_executor(
-            named_device(args.device),
+        ctx = _make_context(args)
+        executor = ctx.executor(
             mapping=args.mapping,
             schedule=args.schedule,
             workgroup_size=args.workgroup_size,
@@ -175,7 +213,7 @@ def _cmd_color(args: argparse.Namespace) -> int:
             {"priority": args.priority} if args.algorithm in ("maxmin", "jp") else {}
         )
         result = run_gpu_coloring(
-            graph, args.algorithm, executor, seed=args.seed, **algo_kwargs
+            graph, args.algorithm, executor, seed=args.seed, context=ctx, **algo_kwargs
         )
     print(format_kv(result.as_row(), title="result (validated)"))
     if args.iterations and result.iterations:
@@ -198,11 +236,11 @@ def _cmd_color(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph, name = _resolve_graph(args.graph, args.scale)
-    device = named_device(args.device)
+    ctx = _make_context(args)
     rows = []
     for algo in GPU_ALGORITHMS:
         result = run_gpu_coloring(
-            graph, algo, make_executor(device), seed=args.seed
+            graph, algo, ctx.executor(), seed=args.seed, context=ctx
         )
         rows.append(result.as_row())
     for algo in ("greedy", "dsatur"):
@@ -215,10 +253,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import run_report
 
     graph, name = _resolve_graph(args.graph, args.scale)
-    executor = make_executor(
-        named_device(args.device), mapping=args.mapping, schedule=args.schedule
-    )
-    result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed)
+    ctx = _make_context(args)
+    executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
+    result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed, context=ctx)
     print(run_report(graph, result, executor, graph_name=name))
     return 0
 
@@ -279,7 +316,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     graph, name = _resolve_graph(args.graph, args.scale)
     device = named_device(args.device)
-    outcome = autotune(graph, device, seed=args.seed)
+    ctx = _make_context(args)
+    outcome = autotune(graph, device, seed=args.seed, context=ctx)
     print(format_table(outcome.scoreboard_rows(), title=f"{name}: autotune scoreboard"))
     cfg = outcome.best
     print()
@@ -295,8 +333,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             degree_threshold=cfg.degree_threshold,
             chunk_size=cfg.chunk_size,
             workgroup_size=min(cfg.workgroup_size, device.max_workgroup_size),
+            context=ctx,
         )
-        result = run_gpu_coloring(graph, "maxmin", executor, seed=args.seed)
+        result = run_gpu_coloring(graph, "maxmin", executor, seed=args.seed, context=ctx)
         print()
         print(format_kv(result.as_row(), title="tuned run (validated)"))
     return 0
@@ -304,18 +343,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     graph, name = _resolve_graph(args.graph, args.scale)
-    device = named_device(args.device)
+    ctx = _make_context(args)
     rows = []
     for value in args.values:
         kwargs = {args.parameter: value}
-        if args.parameter == "workgroup_size" and value > args.values[0]:
-            kwargs.setdefault("chunk_size", max(256, value))
         if args.parameter == "workgroup_size":
             kwargs["chunk_size"] = max(256, value)
-        executor = make_executor(
-            device, mapping=args.mapping, schedule=args.schedule, **kwargs
+        executor = ctx.executor(
+            mapping=args.mapping, schedule=args.schedule, **kwargs
         )
-        result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed)
+        result = run_gpu_coloring(
+            graph, args.algorithm, executor, seed=args.seed, context=ctx
+        )
         rows.append(
             {
                 args.parameter: value,

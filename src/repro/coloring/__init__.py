@@ -12,7 +12,6 @@ from .base import (
     num_colors_used,
     validate_coloring,
 )
-from .edge_centric import edge_centric_maxmin, edge_kernel_cycles_per_item
 from .distance2 import (
     greedy_distance2,
     is_valid_distance2,
@@ -20,6 +19,7 @@ from .distance2 import (
     two_hop_work,
     validate_distance2,
 )
+from .edge_centric import edge_centric_maxmin, edge_kernel_cycles_per_item
 from .hybrid import hybrid_mapping_executor, hybrid_switch_coloring
 from .incremental import IncrementalColoring
 from .jacobian import (
@@ -29,8 +29,6 @@ from .jacobian import (
     seed_matrix,
 )
 from .jones_plassmann import jones_plassmann_coloring
-from .priorities import PRIORITY_KINDS, make_priorities
-from .recolor import balance_colors, class_sizes, recolor_greedy
 from .kernels import (
     MAPPINGS,
     SCHEDULES,
@@ -41,6 +39,8 @@ from .kernels import (
 )
 from .maxmin import compact_colors, maxmin_coloring
 from .partitioned import boundary_mask, partition_blocks, partitioned_coloring
+from .priorities import PRIORITY_KINDS, make_priorities
+from .recolor import balance_colors, class_sizes, recolor_greedy
 from .sequential import (
     dsatur,
     greedy_first_fit,

@@ -1,17 +1,19 @@
 """Vectorized neighborhood primitives shared by the GPU algorithms.
 
 These are the numpy equivalents of the kernels' inner loops — segment
-reductions over CSR neighbor lists. Implemented with ``ufunc.reduceat``
-over the ``indptr`` boundaries (one pass over the adjacency, no Python
-loop), with the empty-row quirk of ``reduceat`` handled explicitly.
+reductions over CSR neighbor lists and the first-fit (mex) kernel. The
+implementations live behind the :class:`~repro.engine.backend.ArrayBackend`
+surface (NumPy ``reduceat`` single-pass by default, chunk-parallel for
+large graphs); this module keeps the historical free-function entry
+points, now with an optional ``backend=`` argument.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.backend import ArrayBackend, get_default_backend
 from ..graphs.csr import CSRGraph
-from .base import UNCOLORED
 
 __all__ = [
     "neighbor_reduce",
@@ -22,86 +24,52 @@ __all__ = [
 
 
 def neighbor_reduce(
-    graph: CSRGraph, values: np.ndarray, op: np.ufunc, fill: float
+    graph: CSRGraph,
+    values: np.ndarray,
+    op: np.ufunc,
+    fill: float,
+    *,
+    backend: ArrayBackend | None = None,
 ) -> np.ndarray:
     """Per-vertex ``op``-reduction of ``values`` over the neighbor lists.
 
     ``values`` is indexed by vertex id; rows with no neighbors get
     ``fill``, which must be ``op``'s identity (−inf for max, +inf for
-    min, 0 for add) — a sentinel copy of it is appended to the gathered
-    array so that every ``indptr`` boundary is a valid ``reduceat``
-    index, and the last row's reduction absorbs it harmlessly.
+    min, 0 for add).
     """
-    vals = np.asarray(values, dtype=np.float64)
-    if vals.shape != (graph.num_vertices,):
-        raise ValueError("values must have one entry per vertex")
-    n = graph.num_vertices
-    out = np.full(n, fill, dtype=np.float64)
-    m = graph.indices.size
-    if m == 0 or n == 0:
-        return out
-    gathered = np.concatenate([vals[graph.indices], [fill]])
-    starts = graph.indptr[:-1]
-    empty = starts == graph.indptr[1:]
-    out[:] = op.reduceat(gathered, starts)
-    # rows with no neighbors got a bogus single-element "reduction"
-    out[empty] = fill
-    return out
+    be = backend if backend is not None else get_default_backend()
+    return be.neighbor_reduce(graph, values, op, fill)
 
 
-def neighbor_max(graph: CSRGraph, values: np.ndarray) -> np.ndarray:
+def neighbor_max(
+    graph: CSRGraph, values: np.ndarray, *, backend: ArrayBackend | None = None
+) -> np.ndarray:
     """Per-vertex max of neighbor ``values`` (−inf for isolated rows)."""
-    return neighbor_reduce(graph, values, np.maximum, -np.inf)
+    be = backend if backend is not None else get_default_backend()
+    return be.neighbor_max(graph, values)
 
 
-def neighbor_min(graph: CSRGraph, values: np.ndarray) -> np.ndarray:
+def neighbor_min(
+    graph: CSRGraph, values: np.ndarray, *, backend: ArrayBackend | None = None
+) -> np.ndarray:
     """Per-vertex min of neighbor ``values`` (+inf for isolated rows)."""
-    return neighbor_reduce(graph, values, np.minimum, np.inf)
+    be = backend if backend is not None else get_default_backend()
+    return be.neighbor_min(graph, values)
 
 
 def first_fit_colors(
-    graph: CSRGraph, colors: np.ndarray, vertices: np.ndarray
+    graph: CSRGraph,
+    colors: np.ndarray,
+    vertices: np.ndarray,
+    *,
+    backend: ArrayBackend | None = None,
 ) -> np.ndarray:
     """Smallest color not used by any neighbor, for each given vertex.
 
-    This is the vectorized first-fit (mex) kernel: vertex ``v`` with
-    degree ``d`` gets a color in ``[0, d]`` (pigeonhole guarantees one is
-    free). ``colors`` may contain :data:`UNCOLORED`; those neighbors
-    block nothing. Fully vectorized over all requested vertices.
+    Vertex ``v`` with degree ``d`` gets a color in ``[0, d]`` (pigeonhole
+    guarantees one is free). ``colors`` may contain
+    :data:`~repro.coloring.base.UNCOLORED`; those neighbors block
+    nothing. Fully vectorized over all requested vertices.
     """
-    cols = np.asarray(colors, dtype=np.int64)
-    if cols.shape != (graph.num_vertices,):
-        raise ValueError("colors must have one entry per vertex")
-    verts = np.asarray(vertices, dtype=np.int64).ravel()
-    if verts.size == 0:
-        return np.empty(0, dtype=np.int64)
-    if verts.min() < 0 or verts.max() >= graph.num_vertices:
-        raise ValueError("vertex id out of range")
-
-    deg = graph.degrees[verts]
-    slots = deg + 1  # candidate colors 0..deg per vertex
-    slot_start = np.concatenate([[0], np.cumsum(slots)])
-    total = int(slot_start[-1])
-
-    # Gather the adjacency of the requested vertices.
-    starts = graph.indptr[verts]
-    ends = graph.indptr[verts + 1]
-    counts = ends - starts
-    row_of_entry = np.repeat(np.arange(verts.size), counts)
-    # flat positions of each neighbor entry in graph.indices
-    if counts.sum():
-        offsets = np.repeat(starts - np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
-        entry_pos = np.arange(int(counts.sum()), dtype=np.int64) + offsets
-        nbr_color = cols[graph.indices[entry_pos]]
-    else:
-        nbr_color = np.empty(0, dtype=np.int64)
-
-    blocked = np.zeros(total, dtype=bool)
-    if nbr_color.size:
-        valid = (nbr_color >= 0) & (nbr_color <= deg[row_of_entry])
-        blocked[slot_start[row_of_entry[valid]] + nbr_color[valid]] = True
-
-    # mex per segment: smallest unblocked in-segment offset.
-    in_seg = np.arange(total, dtype=np.int64) - np.repeat(slot_start[:-1], slots)
-    candidate = np.where(blocked, np.iinfo(np.int64).max, in_seg)
-    return np.minimum.reduceat(candidate, slot_start[:-1]).astype(np.int64)
+    be = backend if backend is not None else get_default_backend()
+    return be.first_fit_colors(graph, colors, vertices)

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig
+from ..graphs.csr import CSRGraph
 
 __all__ = [
     "UNCOLORED",
@@ -59,7 +59,9 @@ def count_conflicts(graph: CSRGraph, colors: np.ndarray) -> int:
     return int(u.size)
 
 
-def is_valid_coloring(graph: CSRGraph, colors: np.ndarray, *, allow_uncolored: bool = False) -> bool:
+def is_valid_coloring(
+    graph: CSRGraph, colors: np.ndarray, *, allow_uncolored: bool = False
+) -> bool:
     """True iff ``colors`` is a proper (complete, unless allowed) coloring."""
     arr = _colors_array(graph, colors)
     if not allow_uncolored and np.any(arr == UNCOLORED):
@@ -69,7 +71,9 @@ def is_valid_coloring(graph: CSRGraph, colors: np.ndarray, *, allow_uncolored: b
     return count_conflicts(graph, arr) == 0
 
 
-def validate_coloring(graph: CSRGraph, colors: np.ndarray, *, allow_uncolored: bool = False) -> None:
+def validate_coloring(
+    graph: CSRGraph, colors: np.ndarray, *, allow_uncolored: bool = False
+) -> None:
     """Raise :class:`InvalidColoringError` unless the coloring is proper."""
     arr = _colors_array(graph, colors)
     if np.any(arr < UNCOLORED):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.context import RunContext, resolve_context
 from ..graphs.csr import CSRGraph
 from ._nbr import neighbor_max, neighbor_min
 from .base import UNCOLORED, ColoringResult, IterationRecord
@@ -53,9 +54,10 @@ def edge_centric_maxmin(
     graph: CSRGraph,
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     priority: str = "random",
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Max-min coloring timed as edge-centric kernels.
 
@@ -63,7 +65,11 @@ def edge_centric_maxmin(
     uncolored vertex (uniform O(1) items — zero divergence), then a
     vertex decision kernel over the active set. Produces exactly the
     coloring :func:`maxmin_coloring` produces for the same seed.
+    ``context`` supplies the default seed and array backend when given.
     """
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
+    backend = ctx.backend
     n = graph.num_vertices
     colors = np.full(n, UNCOLORED, dtype=np.int64)
     priorities = make_priorities(graph, priority, seed=seed)
@@ -80,8 +86,8 @@ def edge_centric_maxmin(
         active_ids = np.flatnonzero(uncolored)
         pr_hi = np.where(uncolored, priorities, -np.inf)
         pr_lo = np.where(uncolored, priorities, np.inf)
-        nbr_hi = neighbor_max(graph, pr_hi)
-        nbr_lo = neighbor_min(graph, pr_lo)
+        nbr_hi = neighbor_max(graph, pr_hi, backend=backend)
+        nbr_lo = neighbor_min(graph, pr_lo, backend=backend)
         is_max = uncolored & (priorities > nbr_hi)
         is_min = uncolored & (priorities < nbr_lo) & ~is_max
         colors[is_max] = 2 * k

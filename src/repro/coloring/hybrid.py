@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.csr import CSRGraph
+from ..engine.context import RunContext, resolve_context
 from ..gpusim.device import DeviceConfig
 from ..gpusim.memory import MemoryModel
+from ..graphs.csr import CSRGraph
 from .base import UNCOLORED, ColoringResult
 from .kernels import ExecutionConfig, GPUExecutor
 from .maxmin import compact_colors, maxmin_coloring
@@ -32,12 +33,13 @@ __all__ = ["hybrid_mapping_executor", "hybrid_switch_coloring"]
 
 
 def hybrid_mapping_executor(
-    device: DeviceConfig,
+    device: DeviceConfig | None = None,
     *,
     degree_threshold: int = 64,
     schedule: str = "grid",
     workgroup_size: int = 256,
     memory: MemoryModel | None = None,
+    context: RunContext | None = None,
     **config_kwargs,
 ) -> GPUExecutor:
     """An execution engine with the degree-binned hybrid mapping.
@@ -45,7 +47,9 @@ def hybrid_mapping_executor(
     ``degree_threshold`` is the bin boundary: vertices with degree below
     it run one-lane-per-vertex, the rest cooperatively one wavefront
     (grid schedule) or workgroup (persistent schedules) per vertex.
-    Experiment E7 sweeps this threshold.
+    Experiment E7 sweeps this threshold. Pass a ``context`` to share its
+    plan cache and run-level counters (and its device, when ``device``
+    is omitted).
     """
     cfg = ExecutionConfig(
         mapping="hybrid",
@@ -54,17 +58,20 @@ def hybrid_mapping_executor(
         degree_threshold=degree_threshold,
         **config_kwargs,
     )
-    return GPUExecutor(device, cfg, memory)
+    if device is None and context is None:
+        raise ValueError("pass a device, a context, or both")
+    return GPUExecutor(device, cfg, memory, context=context)
 
 
 def hybrid_switch_coloring(
     graph: CSRGraph,
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     switch_fraction: float = 0.05,
     switch_below: int | None = None,
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Max-min for the bulk, speculative first-fit for the tail.
 
@@ -76,9 +83,13 @@ def hybrid_switch_coloring(
         (pure max-min); ``1.0`` switches immediately (pure speculative).
     switch_below:
         Absolute active-set threshold overriding ``switch_fraction``.
+    context:
+        Run context supplying the default seed and the array backend.
     """
     if not 0.0 <= switch_fraction <= 1.0:
         raise ValueError("switch_fraction must be in [0, 1]")
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
     n = graph.num_vertices
     if switch_below is not None:
         threshold = int(switch_below)
@@ -94,6 +105,7 @@ def hybrid_switch_coloring(
         max_iterations=max_iterations,
         stop_when_active_below=threshold,
         compact=False,
+        context=ctx,
     )
     colors = phase1.colors.copy()
     remaining = np.flatnonzero(colors == UNCOLORED)
@@ -112,6 +124,7 @@ def hybrid_switch_coloring(
             name_prefix="switch_spec",
             start_index=len(iterations),
             max_iterations=max_iterations,
+            context=ctx,
         )
         iterations.extend(tail_iters)
         total_cycles += tail_cycles

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.context import RunContext, resolve_context
 from ..graphs.csr import CSRGraph
 from ._nbr import first_fit_colors, neighbor_max
 from .base import UNCOLORED, ColoringResult, IterationRecord
@@ -25,17 +26,22 @@ def jones_plassmann_coloring(
     graph: CSRGraph,
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     priority: str = "random",
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Color ``graph`` with Jones–Plassmann priority rounds.
 
     Priorities are unique (the globally largest uncolored priority
     always wins its neighborhood, so every round makes progress and at
     most ``n`` rounds run); ``priority`` selects the function — see
-    :mod:`repro.coloring.priorities`.
+    :mod:`repro.coloring.priorities`. ``context`` supplies the default
+    seed and array backend when given.
     """
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
+    backend = ctx.backend
     n = graph.num_vertices
     colors = np.full(n, UNCOLORED, dtype=np.int64)
     priorities = make_priorities(graph, priority, seed=seed)
@@ -51,11 +57,11 @@ def jones_plassmann_coloring(
             break
         active_ids = np.flatnonzero(uncolored)
         pr_hi = np.where(uncolored, priorities, -np.inf)
-        winners = uncolored & (priorities > neighbor_max(graph, pr_hi))
+        winners = uncolored & (priorities > neighbor_max(graph, pr_hi, backend=backend))
         winner_ids = np.flatnonzero(winners)
         # Winners form an independent set among uncolored vertices, so
         # assigning all their first-fit colors at once cannot conflict.
-        colors[winner_ids] = first_fit_colors(graph, colors, winner_ids)
+        colors[winner_ids] = first_fit_colors(graph, colors, winner_ids, backend=backend)
         uncolored[winner_ids] = False
 
         cycles = 0.0

@@ -1,11 +1,17 @@
-"""Kernel cost builders + the GPU execution engine.
+"""Kernel cost model + the engine adapters for coloring iterations.
 
 This module is the bridge between the *algorithms* (which operate on
 real graph data and produce real colorings) and the *simulator* (which
 charges time). Each iteration of an iterative coloring algorithm hands
-the engine its active vertex set; the engine builds the corresponding
-kernel work distribution under a chosen **mapping** and **schedule** and
-returns the simulated cycles.
+the engine its active vertex set; the engine looks up (or builds) the
+corresponding :class:`~repro.engine.plan.ExecutionPlan` under a chosen
+**mapping** and **schedule** and returns the simulated cycles.
+
+The work-distribution derivations themselves live in
+:mod:`repro.engine.plan` (memoized per graph × configuration), and the
+run-level plumbing — device, memory model, backend, counters — in
+:mod:`repro.engine.context`. What remains here is the first-order cost
+model and the :class:`GPUExecutor` adapter that dispatches plans.
 
 Mappings (how vertices become SIMT work):
 
@@ -35,15 +41,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.context import RunContext
+from ..engine.plan import ExecutionPlan, build_plan, degrees_fingerprint
 from ..gpusim.counters import ExecutionCounters
 from ..gpusim.device import DeviceConfig
 from ..gpusim.kernel import KernelSpec
 from ..gpusim.memory import MemoryModel
 from ..gpusim.scheduler import dispatch, dispatch_tasks
-from ..gpusim.wavefront import divergence_stats, simd_efficiency, wavefront_costs
 from ..loadbalance.dynamic import simulate_dynamic_fetch
-from ..loadbalance.partition import chunk_costs as _chunk_costs
-from ..loadbalance.partition import chunk_ranges, partition_by_threshold
 from ..loadbalance.workstealing import (
     StealingConfig,
     StealingResult,
@@ -184,30 +189,49 @@ class GPUExecutor:
     """Times coloring-iteration kernels under a mapping × schedule.
 
     One executor instance is reused across all iterations of a run; it
-    owns the device, memory model, cost model, and configuration.
+    is bound to a :class:`~repro.engine.context.RunContext` (built on
+    the fly for the legacy ``GPUExecutor(device, config, memory)`` call
+    form) whose plan cache memoizes work distributions and whose
+    run-level counters aggregate across every executor in the context.
     """
 
     def __init__(
         self,
-        device: DeviceConfig,
+        device: DeviceConfig | None = None,
         config: ExecutionConfig | None = None,
         memory: MemoryModel | None = None,
+        *,
+        context: RunContext | None = None,
     ) -> None:
-        self.device = device
+        if context is None:
+            context = RunContext(
+                device=device if device is not None else DeviceConfig(),
+                memory=memory,
+            )
+        self.context = context
+        self.device = device if device is not None else context.device
+        self.memory = memory if memory is not None else context.memory
         self.config = config or ExecutionConfig()
-        self.memory = memory or MemoryModel(device)
-        self.costs = CostModel(device, self.memory)
+        self.costs = CostModel(self.device, self.memory)
+        self.plans = context.plans
         #: run-level profiling accumulated across every timed iteration;
         #: call ``counters.reset()`` to start a new measurement window.
         self.counters = ExecutionCounters()
-        if self.config.workgroup_size % device.wavefront_size:
+        if self.config.workgroup_size % self.device.wavefront_size:
             raise ValueError(
                 "workgroup_size must be a multiple of the device wavefront size"
             )
-        if self.config.workgroup_size > device.max_workgroup_size:
+        if self.config.workgroup_size > self.device.max_workgroup_size:
             raise ValueError("workgroup_size exceeds device limit")
 
     # ------------------------------------------------------------------
+
+    def plan_for(self, degrees: np.ndarray) -> ExecutionPlan:
+        """The (cached) execution plan for one active-degree array."""
+        key = (degrees_fingerprint(degrees), self.config, self.costs)
+        return self.plans.get_or_build(
+            key, lambda: build_plan(degrees, self.config, self.costs, self.device)
+        )
 
     def time_iteration(
         self, active_degrees: np.ndarray, *, name: str = "kernel"
@@ -224,29 +248,12 @@ class GPUExecutor:
             return IterationTiming(cycles=0.0, simd_efficiency=1.0)
         if deg.min() < 0:
             raise ValueError("degrees must be non-negative")
-        if self.config.sort_by_degree:
-            # Descending: packs similar degrees into the same wavefront
-            # (less divergence) *and* dispatches the heavy work first
-            # (LPT-style, shrinking the idle tail).
-            deg = np.sort(deg)[::-1]
+        plan = self.plan_for(deg)
         if self.config.schedule == "grid":
-            timing = self._grid(deg, name)
+            timing = self._grid(plan, name)
         else:
-            timing = self._persistent(deg, name)
-        self.counters.observe_kernel(
-            cycles=timing.cycles,
-            launch_cycles=self.device.launch_cycles,
-            bandwidth_bound=timing.bandwidth_bound,
-            traffic_elements=self.costs.traffic_elements(deg),
-            work_items=deg.size,
-            simd_efficiency=timing.simd_efficiency,
-        )
-        if timing.stealing is not None:
-            self.counters.observe_stealing(
-                attempts=timing.stealing.steal_attempts,
-                succeeded=timing.stealing.steals_succeeded,
-                migrated=timing.stealing.chunks_migrated,
-            )
+            timing = self._persistent(plan, name)
+        self._observe(timing, traffic_elements=plan.traffic_elements, work_items=deg.size)
         return timing
 
     def time_uniform(
@@ -271,7 +278,6 @@ class GPUExecutor:
         if num_items == 0:
             return IterationTiming(cycles=0.0, simd_efficiency=1.0)
         dev = self.device
-        from ..gpusim.scheduler import dispatch_tasks
         from ..gpusim.wavefront import num_wavefronts
 
         n_wf = num_wavefronts(num_items, dev.wavefront_size)
@@ -294,27 +300,54 @@ class GPUExecutor:
             cu_busy=res.cu_busy,
             bandwidth_bound=res.is_bandwidth_bound,
         )
-        self.counters.observe_kernel(
-            cycles=timing.cycles,
-            launch_cycles=dev.launch_cycles,
-            bandwidth_bound=timing.bandwidth_bound,
-            traffic_elements=traffic_elements,
-            work_items=num_items,
-            simd_efficiency=eff,
-        )
+        self._observe(timing, traffic_elements=traffic_elements, work_items=num_items)
         return timing
+
+    # -- profiling sinks ------------------------------------------------
+
+    def _observe(
+        self, timing: IterationTiming, *, traffic_elements: float, work_items: int
+    ) -> None:
+        """Report one timed kernel to the per-run and run-level sinks."""
+        sinks = [self.counters]
+        if self.context.counters is not self.counters:
+            sinks.append(self.context.counters)
+        for sink in sinks:
+            sink.observe_kernel(
+                cycles=timing.cycles,
+                launch_cycles=self.device.launch_cycles,
+                bandwidth_bound=timing.bandwidth_bound,
+                traffic_elements=traffic_elements,
+                work_items=work_items,
+                simd_efficiency=timing.simd_efficiency,
+            )
+            if timing.stealing is not None:
+                sink.observe_stealing(
+                    attempts=timing.stealing.steal_attempts,
+                    succeeded=timing.stealing.steals_succeeded,
+                    migrated=timing.stealing.chunks_migrated,
+                )
+        if self.context.trace is not None:
+            self.context.trace.append(
+                {
+                    "name": timing.kernels[0] if timing.kernels else "kernel",
+                    "cycles": timing.cycles,
+                    "simd_efficiency": timing.simd_efficiency,
+                    "bandwidth_bound": timing.bandwidth_bound,
+                    "work_items": work_items,
+                }
+            )
 
     # -- grid schedule --------------------------------------------------
 
-    def _grid(self, deg: np.ndarray, name: str) -> IterationTiming:
+    def _grid(self, plan: ExecutionPlan, name: str) -> IterationTiming:
         cfg, dev = self.config, self.device
-        traffic = self.costs.traffic_elements(deg)
         if cfg.mapping == "thread":
             spec = KernelSpec(
                 name=name,
-                item_cycles=self.costs.thread_vertex_cycles(deg),
+                item_cycles=plan.item_cycles,
                 workgroup_size=cfg.workgroup_size,
-                traffic_elements=traffic,
+                traffic_elements=plan.traffic_elements,
             )
             res = dispatch(spec, dev, self.memory)
             return IterationTiming(
@@ -324,66 +357,31 @@ class GPUExecutor:
                 cu_busy=res.cu_busy,
                 bandwidth_bound=res.is_bandwidth_bound,
             )
-        if cfg.mapping == "wavefront":
-            tasks = self.costs.coop_vertex_cycles(deg)
-            res = dispatch_tasks(
-                name, tasks, dev, self.memory, traffic_elements=traffic
-            )
-            # Cooperative lanes idle only on the final partial stride.
-            eff = self._coop_efficiency(deg, dev.wavefront_size)
-            return IterationTiming(
-                cycles=res.total_cycles,
-                simd_efficiency=eff,
-                kernels=(name,),
-                cu_busy=res.cu_busy,
-                bandwidth_bound=res.is_bandwidth_bound,
-            )
-        # hybrid: one fused launch — low-degree lanes packed into
-        # wavefront tasks, high-degree vertices as cooperative tasks.
-        low, high = partition_by_threshold(deg, cfg.degree_threshold)
-        task_parts: list[np.ndarray] = []
-        if low.size:
-            lane = self.costs.thread_vertex_cycles(deg[low])
-            task_parts.append(wavefront_costs(lane, dev.wavefront_size))
-        if high.size:
-            task_parts.append(self.costs.coop_vertex_cycles(deg[high]))
-        tasks = np.concatenate(task_parts) if task_parts else np.empty(0)
-        div = (
-            divergence_stats(
-                self.costs.thread_vertex_cycles(deg[low]), dev.wavefront_size
-            )
-            if low.size
-            else None
-        )
+        # wavefront mapping dispatches cooperative tasks directly; the
+        # hybrid mapping fuses packed low-degree wavefronts (divergence
+        # from the plan) with cooperative high-degree tasks.
+        kname = name + plan.kernel_suffix
         res = dispatch_tasks(
-            name + "+coop",
-            tasks,
+            kname,
+            plan.tasks,
             dev,
             self.memory,
-            traffic_elements=self.costs.traffic_elements(deg),
-            divergence=div,
+            traffic_elements=plan.traffic_elements,
+            divergence=plan.divergence,
         )
-        eff = div.simd_efficiency if div else self._coop_efficiency(deg, dev.wavefront_size)
         return IterationTiming(
             cycles=res.total_cycles,
-            simd_efficiency=eff,
-            kernels=(name + "+coop",),
+            simd_efficiency=plan.simd_efficiency,
+            kernels=(kname,),
             cu_busy=res.cu_busy,
             bandwidth_bound=res.is_bandwidth_bound,
         )
 
-    @staticmethod
-    def _coop_efficiency(deg: np.ndarray, lanes: int) -> float:
-        """Lane utilization of cooperative strides (partial last stride)."""
-        d = np.asarray(deg, dtype=np.float64)
-        steps = np.maximum(np.ceil(d / lanes), 1.0)
-        return float(d.sum() / (steps.sum() * lanes)) if d.size else 1.0
-
     # -- persistent schedules -------------------------------------------
 
-    def _persistent(self, deg: np.ndarray, name: str) -> IterationTiming:
+    def _persistent(self, plan: ExecutionPlan, name: str) -> IterationTiming:
         cfg, dev = self.config, self.device
-        chunk_cyc, eff = self._chunk_cycles(deg)
+        chunk_cyc = plan.chunk_cycles
         workers = dev.num_cus * cfg.persistent_groups_per_cu
         launch = dev.launch_cycles
         if cfg.schedule == "static":
@@ -414,11 +412,11 @@ class GPUExecutor:
                 )
             res = simulate_work_stealing(chunk_cyc, owner, steal_cfg)
         # Roofline still applies: the chunks move the same bytes.
-        bw = self.memory.bandwidth_floor_cycles(self.costs.traffic_elements(deg))
+        bw = self.memory.bandwidth_floor_cycles(plan.traffic_elements)
         cycles = launch + max(res.makespan_cycles, bw)
         return IterationTiming(
             cycles=cycles,
-            simd_efficiency=eff,
+            simd_efficiency=plan.simd_efficiency,
             kernels=(name,),
             stealing=res,
             cu_busy=res.busy_cycles,
@@ -432,45 +430,3 @@ class GPUExecutor:
             return np.empty(0, dtype=np.int64)
         per = -(-num_chunks // workers)
         return np.arange(num_chunks, dtype=np.int64) // per
-
-    def _chunk_cycles(self, deg: np.ndarray) -> tuple[np.ndarray, float]:
-        """Per-chunk execution cycles under the configured mapping.
-
-        A persistent workgroup executes a chunk in lockstep *rounds* of
-        ``workgroup_size`` lanes (its wavefronts run concurrently on the
-        CU's SIMDs, so a round costs its slowest lane). Under the hybrid
-        mapping, high-degree vertices are pulled out of the chunks and
-        appended as single-vertex cooperative chunks (processed by a
-        whole workgroup striding the neighbor list).
-        """
-        cfg, dev = self.config, self.device
-        wg = cfg.workgroup_size
-        if cfg.mapping == "thread":
-            lane = self.costs.thread_vertex_cycles(deg)
-            eff = simd_efficiency(lane, dev.wavefront_size)
-            rounds = wavefront_costs(lane, wg)
-            rounds_per_chunk = cfg.chunk_size // wg
-            ranges = chunk_ranges(rounds.size, rounds_per_chunk)
-            return _chunk_costs(rounds, ranges), eff
-        if cfg.mapping == "wavefront":
-            # one vertex per chunk round, whole workgroup cooperates
-            tasks = self.costs.coop_vertex_cycles(deg, lanes=wg)
-            eff = self._coop_efficiency(deg, wg)
-            per_chunk = max(1, cfg.chunk_size // wg)
-            ranges = chunk_ranges(tasks.size, per_chunk)
-            return _chunk_costs(tasks, ranges), eff
-        # hybrid
-        low, high = partition_by_threshold(deg, cfg.degree_threshold)
-        parts: list[np.ndarray] = []
-        eff_lane = None
-        if low.size:
-            lane = self.costs.thread_vertex_cycles(deg[low])
-            eff_lane = simd_efficiency(lane, dev.wavefront_size)
-            rounds = wavefront_costs(lane, wg)
-            ranges = chunk_ranges(rounds.size, cfg.chunk_size // wg)
-            parts.append(_chunk_costs(rounds, ranges))
-        if high.size:
-            parts.append(self.costs.coop_vertex_cycles(deg[high], lanes=wg))
-        chunks = np.concatenate(parts) if parts else np.empty(0)
-        eff = eff_lane if eff_lane is not None else self._coop_efficiency(deg, wg)
-        return chunks, eff

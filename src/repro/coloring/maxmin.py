@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.context import RunContext, resolve_context
 from ..graphs.csr import CSRGraph
 from ._nbr import neighbor_max, neighbor_min
 from .base import UNCOLORED, ColoringResult, IterationRecord
@@ -41,11 +42,12 @@ def maxmin_coloring(
     graph: CSRGraph,
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     priority: str = "random",
     max_iterations: int | None = None,
     stop_when_active_below: int = 0,
     compact: bool = True,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Color ``graph`` with the max-min independent-set method.
 
@@ -59,7 +61,8 @@ def maxmin_coloring(
     seed:
         Seed for the priority tie-break permutation (priorities are
         unique, so progress is guaranteed: the globally extreme
-        uncolored vertex is always a local extremum).
+        uncolored vertex is always a local extremum). ``None`` falls
+        back to the run context's seed.
     priority:
         Priority function — ``random`` (paper baseline), ``degree``
         (hubs colored first), or ``smallest_last``; see
@@ -72,7 +75,13 @@ def maxmin_coloring(
         hand the low-parallelism tail to speculative first-fit.
     compact:
         Remap the final colors to a dense ``0..k-1`` range.
+    context:
+        Run context supplying the default seed and the array backend;
+        resolved from ``executor`` (or a fresh default) when omitted.
     """
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
+    backend = ctx.backend
     n = graph.num_vertices
     colors = np.full(n, UNCOLORED, dtype=np.int64)
     priorities = make_priorities(graph, priority, seed=seed)
@@ -93,8 +102,8 @@ def maxmin_coloring(
         # neighbors' priorities and tests for local max / local min.
         pr_hi = np.where(uncolored, priorities, -np.inf)
         pr_lo = np.where(uncolored, priorities, np.inf)
-        nbr_hi = neighbor_max(graph, pr_hi)
-        nbr_lo = neighbor_min(graph, pr_lo)
+        nbr_hi = neighbor_max(graph, pr_hi, backend=backend)
+        nbr_lo = neighbor_min(graph, pr_lo, backend=backend)
         is_max = uncolored & (priorities > nbr_hi)
         is_min = uncolored & (priorities < nbr_lo) & ~is_max
         colors[is_max] = 2 * k

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.context import RunContext, resolve_context
 from ..graphs.csr import CSRGraph
 from .base import UNCOLORED, ColoringResult, IterationRecord
 from .kernels import GPUExecutor
@@ -70,8 +71,9 @@ def partitioned_coloring(
     *,
     num_partitions: int = 4,
     method: str = "bfs",
-    seed: int = 0,
+    seed: int | None = None,
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Color ``graph`` as ``num_partitions`` devices would.
 
@@ -86,6 +88,8 @@ def partitioned_coloring(
 
     ``extras`` records the boundary fraction and per-phase cycles.
     """
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
     n = graph.num_vertices
     block = partition_blocks(graph, num_partitions, method=method)
     boundary = boundary_mask(graph, block)
@@ -114,6 +118,7 @@ def partitioned_coloring(
             executor,
             name_prefix=f"part{blk}",
             max_iterations=max_iterations,
+            context=ctx,
         )
         phase1_cycles = max(phase1_cycles, blk_cycles)
     iterations.append(
@@ -137,6 +142,7 @@ def partitioned_coloring(
         name_prefix="boundary",
         start_index=1,
         max_iterations=max_iterations,
+        context=ctx,
     )
     iterations.extend(tail_iters)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.context import RunContext, resolve_context
 from ..graphs.csr import CSRGraph
 from ._nbr import first_fit_colors
 from .base import UNCOLORED, ColoringResult, IterationRecord
@@ -35,6 +36,7 @@ def speculative_rounds(
     name_prefix: str = "spec",
     start_index: int = 0,
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> tuple[list[IterationRecord], float]:
     """Run speculate/resolve rounds in place until ``active`` drains.
 
@@ -44,6 +46,8 @@ def speculative_rounds(
     and the invariant "stable set is conflict-free" is preserved).
     Returns the per-round records and the total simulated cycles.
     """
+    ctx = resolve_context(context, executor)
+    backend = ctx.backend
     degrees = graph.degrees
     edge_u, edge_v = graph.edge_array()
     iterations: list[IterationRecord] = []
@@ -55,7 +59,7 @@ def speculative_rounds(
             break
         # Kernel 1: every active vertex speculatively first-fit colors
         # itself against the snapshot (assignments land "simultaneously").
-        colors[active] = first_fit_colors(graph, colors, active)
+        colors[active] = first_fit_colors(graph, colors, active, backend=backend)
 
         # Kernel 2: conflict detection — a monochromatic edge uncolors
         # its lower-priority endpoint (the loser retries next round).
@@ -93,15 +97,19 @@ def speculative_coloring(
     graph: CSRGraph,
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     max_iterations: int | None = None,
+    context: RunContext | None = None,
 ) -> ColoringResult:
     """Color ``graph`` by speculate-then-resolve rounds.
 
     Conflicts resolve by random priority (unique permutation), so the
     highest-priority vertex of any conflict always keeps its color and
-    every round strictly shrinks the active set.
+    every round strictly shrinks the active set. ``context`` supplies
+    the default seed and array backend when given.
     """
+    ctx = resolve_context(context, executor)
+    seed = ctx.resolve_seed(seed)
     n = graph.num_vertices
     colors = np.full(n, UNCOLORED, dtype=np.int64)
     rng = np.random.default_rng(seed)
@@ -113,6 +121,7 @@ def speculative_coloring(
         priorities,
         executor,
         max_iterations=max_iterations,
+        context=ctx,
     )
     return ColoringResult(
         algorithm="speculative",

@@ -1,0 +1,51 @@
+"""Execution-engine layer: run context, array backends, cached plans.
+
+The three pieces every run is assembled from:
+
+* :class:`~repro.engine.context.RunContext` — device, memory model,
+  seed, backend, and the counter/trace sinks, threaded explicitly
+  through algorithms, executor, harness, and CLI.
+* :class:`~repro.engine.backend.ArrayBackend` — the swappable
+  neighborhood-primitive surface (NumPy ``reduceat`` default,
+  chunk-parallel thread pool for large graphs).
+* :class:`~repro.engine.plan.ExecutionPlan` /
+  :class:`~repro.engine.plan.PlanCache` — memoized per-iteration work
+  distributions (degree partitions, chunk ranges, wavefront costs).
+"""
+
+from .backend import (
+    BACKENDS,
+    ArrayBackend,
+    AutoBackend,
+    ChunkParallelBackend,
+    NumpyBackend,
+    get_default_backend,
+    make_backend,
+    set_default_backend,
+)
+from .context import RunContext, resolve_context
+from .plan import (
+    ExecutionPlan,
+    PlanCache,
+    build_plan,
+    coop_efficiency,
+    degrees_fingerprint,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ArrayBackend",
+    "AutoBackend",
+    "ChunkParallelBackend",
+    "NumpyBackend",
+    "get_default_backend",
+    "make_backend",
+    "set_default_backend",
+    "RunContext",
+    "resolve_context",
+    "ExecutionPlan",
+    "PlanCache",
+    "build_plan",
+    "coop_efficiency",
+    "degrees_fingerprint",
+]

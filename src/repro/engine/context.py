@@ -1,0 +1,119 @@
+"""RunContext — the one object a whole run threads through.
+
+Before this layer existed, every entry point re-derived the same
+plumbing ad hoc: a ``DeviceConfig`` here, a fresh ``MemoryModel`` there,
+loose ``seed`` kwargs, and per-executor counters that could not be
+aggregated across a batch. :class:`RunContext` bundles that state —
+device, memory model, seed, array backend, plan cache, and the
+counter/trace sinks — so algorithms, the executor, the harness, and the
+CLI all consume one explicitly-passed object.
+
+Sharing matters: every executor built from the same context shares its
+:class:`~repro.engine.plan.PlanCache` (warm plans carry across batch
+cells and autotune probes) and reports into its run-level
+:class:`~repro.gpusim.counters.ExecutionCounters` on top of its own
+per-run window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..gpusim.counters import ExecutionCounters
+from ..gpusim.device import RADEON_HD_7950, DeviceConfig
+from ..gpusim.memory import MemoryModel
+from .backend import ArrayBackend, get_default_backend, make_backend
+from .plan import PlanCache
+
+if TYPE_CHECKING:
+    from ..coloring.kernels import ExecutionConfig, GPUExecutor
+
+__all__ = ["RunContext", "resolve_context"]
+
+
+@dataclass
+class RunContext:
+    """Shared execution state for one run (or one batch of runs).
+
+    Parameters
+    ----------
+    device:
+        Machine model every executor built from this context targets.
+    memory:
+        Memory-system model; built from ``device`` when omitted.
+    seed:
+        Default RNG seed for algorithms that are not given one
+        explicitly (priorities, conflict tie-breaks).
+    backend:
+        Array backend for the neighborhood primitives — an
+        :class:`~repro.engine.backend.ArrayBackend` instance or a name
+        (``"auto"``/``"numpy"``/``"chunked"``).
+    counters:
+        Run-level profiling sink; every executor in the context
+        aggregates into it in addition to its own per-run window.
+    plans:
+        Execution-plan cache shared by every executor in the context.
+    trace:
+        Optional kernel-event sink: when a list is supplied, every timed
+        kernel appends a ``{name, cycles, simd_efficiency, ...}`` dict.
+    """
+
+    device: DeviceConfig = RADEON_HD_7950
+    memory: MemoryModel | None = None
+    seed: int = 0
+    backend: ArrayBackend | str = "auto"
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+    plans: PlanCache = field(default_factory=PlanCache)
+    trace: list[dict] | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory is None:
+            self.memory = MemoryModel(self.device)
+        if isinstance(self.backend, str):
+            self.backend = make_backend(self.backend)
+
+    # ------------------------------------------------------------------
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh deterministic generator from the context seed."""
+        return np.random.default_rng(self.seed + salt)
+
+    def executor(
+        self, config: "ExecutionConfig | None" = None, **config_kwargs
+    ) -> "GPUExecutor":
+        """Build a :class:`GPUExecutor` bound to this context.
+
+        Pass either a ready :class:`ExecutionConfig` or its keyword
+        fields (``mapping=...``, ``schedule=...``, ...).
+        """
+        from ..coloring.kernels import ExecutionConfig, GPUExecutor
+
+        if config is None:
+            config = ExecutionConfig(**config_kwargs)
+        elif config_kwargs:
+            raise ValueError("pass either a config object or keyword fields, not both")
+        return GPUExecutor(self.device, config, self.memory, context=self)
+
+    def resolve_seed(self, seed: int | None) -> int:
+        """An explicit seed wins; ``None`` falls back to the context's."""
+        return self.seed if seed is None else int(seed)
+
+
+def resolve_context(
+    context: RunContext | None = None, executor: object | None = None
+) -> RunContext:
+    """The context an algorithm call should run under.
+
+    Preference order: the explicitly passed ``context``, then the
+    executor's own context, then a fresh default (whose backend is the
+    process-wide default, so untimed runs share one thread pool).
+    """
+    if context is not None:
+        return context
+    ctx = getattr(executor, "context", None)
+    if ctx is not None:
+        return ctx
+    return RunContext(backend=get_default_backend())

@@ -1,0 +1,245 @@
+"""Cached execution plans — per-iteration work distributions, memoized.
+
+Timing one coloring iteration means re-deriving the same per-graph
+invariants every sweep: lane cost vectors, degree partitions (hybrid
+mapping), wavefront lockstep costs, and chunk cost vectors (persistent
+schedules). Those depend only on *(active-degree array, execution
+configuration, cost model)* — and iterative algorithms, batch sweeps,
+and repeated benchmark cells keep presenting the same triples. An
+:class:`ExecutionPlan` packages the derived arrays; a :class:`PlanCache`
+memoizes them under a content fingerprint so warm iterations skip
+straight to dispatch.
+
+The cache is exact, not approximate: the key fingerprints the degree
+bytes plus the full (hashable, frozen) ``ExecutionConfig`` and
+``CostModel``, so any change to the graph, the chunk size, the mapping,
+or the device invalidates by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.wavefront import (
+    DivergenceStats,
+    divergence_stats,
+    simd_efficiency,
+    wavefront_costs,
+)
+from ..loadbalance.partition import chunk_costs, chunk_ranges, partition_by_threshold
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanCache",
+    "build_plan",
+    "coop_efficiency",
+    "degrees_fingerprint",
+]
+
+
+def degrees_fingerprint(degrees: np.ndarray) -> tuple[int, bytes]:
+    """Content fingerprint of a degree array (size + blake2b digest)."""
+    deg = np.ascontiguousarray(degrees, dtype=np.int64)
+    return deg.size, hashlib.blake2b(deg.tobytes(), digest_size=16).digest()
+
+
+def coop_efficiency(degrees: np.ndarray, lanes: int) -> float:
+    """Lane utilization of cooperative strides (partial last stride)."""
+    d = np.asarray(degrees, dtype=np.float64)
+    steps = np.maximum(np.ceil(d / lanes), 1.0)
+    return float(d.sum() / (steps.sum() * lanes)) if d.size else 1.0
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything derivable before dispatch for one iteration's kernel.
+
+    Exactly one artifact family is populated, per the configuration the
+    plan was built for:
+
+    * grid + thread mapping → ``item_cycles`` (per-lane costs);
+    * grid + wavefront/hybrid mapping → ``tasks`` (per-wavefront costs),
+      plus ``divergence`` for the hybrid's low-degree half;
+    * persistent schedules → ``chunk_cycles``.
+
+    ``degrees`` is the thread-id-order degree array actually timed
+    (descending-sorted when the configuration says so), ``traffic_elements``
+    the kernel's DRAM roofline input, and ``simd_efficiency`` the lane
+    utilization for paths where dispatch does not compute it itself.
+    """
+
+    degrees: np.ndarray
+    traffic_elements: float
+    simd_efficiency: float = 1.0
+    item_cycles: np.ndarray | None = None
+    tasks: np.ndarray | None = None
+    divergence: DivergenceStats | None = None
+    chunk_cycles: np.ndarray | None = None
+    kernel_suffix: str = ""
+
+
+def build_plan(degrees: np.ndarray, config, costs, device) -> ExecutionPlan:
+    """Derive the work distribution for ``degrees`` under ``config``.
+
+    ``config`` is an :class:`~repro.coloring.kernels.ExecutionConfig`,
+    ``costs`` a :class:`~repro.coloring.kernels.CostModel`, ``device``
+    a :class:`~repro.gpusim.device.DeviceConfig`.
+    """
+    deg = np.asarray(degrees, dtype=np.int64).ravel()
+    if config.sort_by_degree:
+        # Descending: packs similar degrees into the same wavefront
+        # (less divergence) *and* dispatches the heavy work first
+        # (LPT-style, shrinking the idle tail).
+        deg = np.sort(deg)[::-1]
+    traffic = costs.traffic_elements(deg)
+    if config.schedule == "grid":
+        return _grid_plan(deg, config, costs, device, traffic)
+    chunks, eff = _persistent_chunks(deg, config, costs, device)
+    return ExecutionPlan(
+        degrees=deg,
+        traffic_elements=traffic,
+        simd_efficiency=eff,
+        chunk_cycles=chunks,
+    )
+
+
+def _grid_plan(deg, config, costs, device, traffic) -> ExecutionPlan:
+    if config.mapping == "thread":
+        return ExecutionPlan(
+            degrees=deg,
+            traffic_elements=traffic,
+            item_cycles=costs.thread_vertex_cycles(deg),
+        )
+    if config.mapping == "wavefront":
+        return ExecutionPlan(
+            degrees=deg,
+            traffic_elements=traffic,
+            simd_efficiency=coop_efficiency(deg, device.wavefront_size),
+            tasks=costs.coop_vertex_cycles(deg),
+        )
+    # hybrid: one fused launch — low-degree lanes packed into wavefront
+    # tasks, high-degree vertices as cooperative tasks.
+    low, high = partition_by_threshold(deg, config.degree_threshold)
+    task_parts: list[np.ndarray] = []
+    if low.size:
+        lane = costs.thread_vertex_cycles(deg[low])
+        task_parts.append(wavefront_costs(lane, device.wavefront_size))
+    if high.size:
+        task_parts.append(costs.coop_vertex_cycles(deg[high]))
+    tasks = np.concatenate(task_parts) if task_parts else np.empty(0)
+    div = (
+        divergence_stats(costs.thread_vertex_cycles(deg[low]), device.wavefront_size)
+        if low.size
+        else None
+    )
+    eff = div.simd_efficiency if div else coop_efficiency(deg, device.wavefront_size)
+    return ExecutionPlan(
+        degrees=deg,
+        traffic_elements=traffic,
+        simd_efficiency=eff,
+        tasks=tasks,
+        divergence=div,
+        kernel_suffix="+coop",
+    )
+
+
+def _persistent_chunks(deg, config, costs, device) -> tuple[np.ndarray, float]:
+    """Per-chunk execution cycles under the configured mapping.
+
+    A persistent workgroup executes a chunk in lockstep *rounds* of
+    ``workgroup_size`` lanes (its wavefronts run concurrently on the
+    CU's SIMDs, so a round costs its slowest lane). Under the hybrid
+    mapping, high-degree vertices are pulled out of the chunks and
+    appended as single-vertex cooperative chunks (processed by a whole
+    workgroup striding the neighbor list).
+    """
+    wg = config.workgroup_size
+    if config.mapping == "thread":
+        lane = costs.thread_vertex_cycles(deg)
+        eff = simd_efficiency(lane, device.wavefront_size)
+        rounds = wavefront_costs(lane, wg)
+        rounds_per_chunk = config.chunk_size // wg
+        ranges = chunk_ranges(rounds.size, rounds_per_chunk)
+        return chunk_costs(rounds, ranges), eff
+    if config.mapping == "wavefront":
+        # one vertex per chunk round, whole workgroup cooperates
+        tasks = costs.coop_vertex_cycles(deg, lanes=wg)
+        eff = coop_efficiency(deg, wg)
+        per_chunk = max(1, config.chunk_size // wg)
+        ranges = chunk_ranges(tasks.size, per_chunk)
+        return chunk_costs(tasks, ranges), eff
+    # hybrid
+    low, high = partition_by_threshold(deg, config.degree_threshold)
+    parts: list[np.ndarray] = []
+    eff_lane = None
+    if low.size:
+        lane = costs.thread_vertex_cycles(deg[low])
+        eff_lane = simd_efficiency(lane, device.wavefront_size)
+        rounds = wavefront_costs(lane, wg)
+        ranges = chunk_ranges(rounds.size, config.chunk_size // wg)
+        parts.append(chunk_costs(rounds, ranges))
+    if high.size:
+        parts.append(costs.coop_vertex_cycles(deg[high], lanes=wg))
+    chunks = np.concatenate(parts) if parts else np.empty(0)
+    eff = eff_lane if eff_lane is not None else coop_efficiency(deg, wg)
+    return chunks, eff
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`ExecutionPlan` values.
+
+    Keys are arbitrary hashables (the executor keys on the degree
+    fingerprint + configuration + cost model). ``max_entries`` bounds
+    memory: iterative algorithms present one distinct active set per
+    round, so an unbounded cache would grow with iteration count.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, ExecutionPlan] = OrderedDict()
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], ExecutionPlan]
+    ) -> ExecutionPlan:
+        """Return the cached plan for ``key``, building it on a miss."""
+        plan = self._entries.get(key)
+        if plan is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = builder()
+        self._entries[key] = plan
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        """Drop every entry and zero the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

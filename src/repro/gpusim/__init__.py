@@ -6,6 +6,7 @@ discrete-event engine for persistent-kernel runtimes (see DESIGN.md for
 why this substitution preserves the paper's load-imbalance phenomena).
 """
 
+from .counters import ExecutionCounters
 from .detailed import (
     DetailedParams,
     DetailedResult,
@@ -23,7 +24,6 @@ from .device import (
 )
 from .events import EventSimulator
 from .kernel import KernelResult, KernelSpec
-from .counters import ExecutionCounters
 from .latency import HidingReport, LatencyModel, latency_hiding
 from .memory import ELEMENT_BYTES, MemoryModel
 from .occupancy import OccupancyLimits, OccupancyReport, occupancy

@@ -11,8 +11,8 @@ order at equal timestamps), which the load-balancing runtimes build on.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable
 from itertools import count
-from typing import Callable
 
 __all__ = ["EventSimulator"]
 

@@ -9,7 +9,7 @@ generator with rejection steps, a mutation loop in a test —
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -1,5 +1,7 @@
 """Workload harness: the dataset suite and shared run helpers."""
 
+from .autotune import TuneOutcome, autotune, candidate_configs
+from .batch import BatchJob, run_batch, save_rows_csv, save_rows_json
 from .runner import (
     CPU_ALGORITHMS,
     GPU_ALGORITHMS,
@@ -9,8 +11,6 @@ from .runner import (
     run_gpu_coloring,
 )
 from .suite import SCALES, SUITE, DatasetSpec, build, suite_names, summarize_suite
-from .autotune import TuneOutcome, autotune, candidate_configs
-from .batch import BatchJob, run_batch, save_rows_csv, save_rows_json
 from .sweeps import grid_points, sweep, sweep1d
 
 __all__ = [

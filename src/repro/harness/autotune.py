@@ -21,8 +21,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..coloring.kernels import ExecutionConfig, GPUExecutor
-from ..graphs.csr import CSRGraph
+from ..engine.context import RunContext
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
+from ..graphs.csr import CSRGraph
 
 __all__ = ["TuneOutcome", "candidate_configs", "autotune"]
 
@@ -92,16 +93,21 @@ def autotune(
     *,
     candidates: list[ExecutionConfig] | None = None,
     probe_fraction: float = 0.3,
-    seed: int = 0,
+    seed: int | None = None,
+    context: RunContext | None = None,
 ) -> TuneOutcome:
     """Pick the fastest configuration for ``graph`` by probing.
 
     Each candidate times one synthetic sweep over a random sample of
     ``probe_fraction`` of the vertices (plus the full first sweep for
     the two leaders, as a tie-break). Deterministic given ``seed``.
+    All probe executors share one context, so the tie-break rescoring
+    (and any caller reusing the context afterwards) hits warm plans.
     """
     if not 0.0 < probe_fraction <= 1.0:
         raise ValueError("probe_fraction must be in (0, 1]")
+    ctx = context if context is not None else RunContext(device=device)
+    seed = ctx.resolve_seed(seed)
     candidates = candidates if candidates is not None else candidate_configs()
     if not candidates:
         raise ValueError("need at least one candidate configuration")
@@ -118,7 +124,7 @@ def autotune(
 
     scoreboard: list[tuple[ExecutionConfig, float]] = []
     for cfg in candidates:
-        ex = GPUExecutor(device, cfg)
+        ex = GPUExecutor(device, cfg, context=ctx)
         cycles = ex.time_iteration(sample, name="probe").cycles
         scoreboard.append((cfg, cycles))
     scoreboard.sort(key=lambda t: t[1])
@@ -128,7 +134,7 @@ def autotune(
     if len(leaders) == 2 and leaders[1][1] < 1.1 * leaders[0][1]:
         rescored = []
         for cfg, _ in leaders:
-            ex = GPUExecutor(device, cfg)
+            ex = GPUExecutor(device, cfg, context=ctx)
             rescored.append((cfg, ex.time_iteration(deg, name="probe-full").cycles))
         rescored.sort(key=lambda t: t[1])
         best_cfg, best_cycles = rescored[0]

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import csv
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
 
+from ..engine.context import RunContext
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from .runner import make_executor, run_gpu_coloring
 from .suite import SUITE, build
@@ -45,8 +46,17 @@ def run_batch(
     *,
     device: DeviceConfig = RADEON_HD_7950,
     scale: str = "small",
+    context: RunContext | None = None,
 ) -> list[dict[str, object]]:
-    """Run every job, validating each coloring; returns one row per job."""
+    """Run every job, validating each coloring; returns one row per job.
+
+    All jobs share one :class:`~repro.engine.context.RunContext` (the
+    given one, or a fresh context for ``device``): execution plans warm
+    up across cells that repeat a graph × configuration, and
+    ``context.counters`` aggregates the whole matrix while each row
+    still reports its own executor's window.
+    """
+    ctx = context if context is not None else RunContext(device=device)
     rows: list[dict[str, object]] = []
     for job in jobs:
         if job.dataset in SUITE:
@@ -54,7 +64,7 @@ def run_batch(
         else:
             raise KeyError(f"unknown dataset {job.dataset!r}")
         executor = make_executor(
-            device, mapping=job.mapping, schedule=job.schedule, **job.config
+            device, mapping=job.mapping, schedule=job.schedule, context=ctx, **job.config
         )
         result = run_gpu_coloring(graph, job.algorithm, executor, seed=job.seed)
         rows.append(

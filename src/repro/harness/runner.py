@@ -8,20 +8,21 @@ to run.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..coloring.base import ColoringResult
 from ..coloring.edge_centric import edge_centric_maxmin
 from ..coloring.hybrid import hybrid_switch_coloring
-from ..coloring.partitioned import partitioned_coloring
 from ..coloring.jones_plassmann import jones_plassmann_coloring
 from ..coloring.kernels import ExecutionConfig, GPUExecutor
 from ..coloring.maxmin import maxmin_coloring
+from ..coloring.partitioned import partitioned_coloring
 from ..coloring.sequential import dsatur, greedy_first_fit, smallest_last, welsh_powell
 from ..coloring.speculative import speculative_coloring
-from ..graphs.csr import CSRGraph
+from ..engine.context import RunContext, resolve_context
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from ..gpusim.memory import MemoryModel
+from ..graphs.csr import CSRGraph
 
 __all__ = [
     "GPU_ALGORITHMS",
@@ -58,16 +59,24 @@ def make_executor(
     mapping: str = "thread",
     schedule: str = "grid",
     memory: MemoryModel | None = None,
+    context: RunContext | None = None,
     **config_kwargs,
 ) -> GPUExecutor:
-    """Build an execution engine from plain option values."""
+    """Build an execution engine from plain option values.
+
+    Pass a :class:`~repro.engine.context.RunContext` to share its plan
+    cache and run-level counters across executors; without one a fresh
+    context is created behind the scenes.
+    """
     cfg = ExecutionConfig(mapping=mapping, schedule=schedule, **config_kwargs)
-    return GPUExecutor(device, cfg, memory)
+    return GPUExecutor(device, cfg, memory, context=context)
 
 
-def baseline_executor(device: DeviceConfig = RADEON_HD_7950) -> GPUExecutor:
+def baseline_executor(
+    device: DeviceConfig = RADEON_HD_7950, *, context: RunContext | None = None
+) -> GPUExecutor:
     """The paper's baseline configuration: thread-per-vertex grid kernel."""
-    return make_executor(device, mapping="thread", schedule="grid")
+    return make_executor(device, mapping="thread", schedule="grid", context=context)
 
 
 def run_gpu_coloring(
@@ -75,18 +84,26 @@ def run_gpu_coloring(
     algorithm: str = "maxmin",
     executor: GPUExecutor | None = None,
     *,
-    seed: int = 0,
+    seed: int | None = None,
     validate: bool = True,
+    context: RunContext | None = None,
     **kwargs,
 ) -> ColoringResult:
-    """Run a GPU algorithm (timed when ``executor`` given) and validate."""
+    """Run a GPU algorithm (timed when ``executor`` given) and validate.
+
+    ``context`` is threaded through to the algorithm (seed fallback,
+    array backend); when omitted it resolves from the executor. With no
+    explicit ``seed`` the context's base seed applies — and since a
+    fresh context defaults to seed 0, calls that pass neither stay as
+    reproducible as they always were.
+    """
     try:
         fn = GPU_ALGORITHMS[algorithm]
     except KeyError:
         raise KeyError(
             f"unknown GPU algorithm {algorithm!r}; known: {sorted(GPU_ALGORITHMS)}"
         ) from None
-    result = fn(graph, executor, seed=seed, **kwargs)
+    result = fn(graph, executor, seed=seed, context=context, **kwargs)
     if validate:
         result.validate(graph)
     return result

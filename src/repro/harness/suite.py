@@ -9,8 +9,8 @@ scales: ``tiny`` (fast unit tests), ``small`` (integration tests) and
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from ..graphs import generators as gen
 from ..graphs.csr import CSRGraph

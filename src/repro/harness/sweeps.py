@@ -8,7 +8,7 @@ tidy rows.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 __all__ = ["grid_points", "sweep", "sweep1d"]
 

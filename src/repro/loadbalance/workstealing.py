@@ -26,7 +26,12 @@ import numpy as np
 from ..gpusim.events import EventSimulator
 from ..gpusim.trace import Timeline
 
-__all__ = ["StealingConfig", "StealingResult", "simulate_work_stealing", "simulate_static_persistent"]
+__all__ = [
+    "StealingConfig",
+    "StealingResult",
+    "simulate_work_stealing",
+    "simulate_static_persistent",
+]
 
 
 @dataclass(frozen=True)

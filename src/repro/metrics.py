@@ -9,7 +9,7 @@ cross-suite summaries.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

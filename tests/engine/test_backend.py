@@ -1,0 +1,179 @@
+"""Backend-surface tests: edge cases and cross-backend parity.
+
+The historical ``_nbr`` reduceat quirks (empty graphs, isolated
+vertices, single-vertex graphs) are exercised here *through* the
+``ArrayBackend`` interface, and every case is asserted identical across
+the NumPy and chunk-parallel implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.base import UNCOLORED
+from repro.engine.backend import (
+    BACKENDS,
+    ArrayBackend,
+    AutoBackend,
+    ChunkParallelBackend,
+    NumpyBackend,
+    get_default_backend,
+    make_backend,
+    set_default_backend,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import rmat
+
+
+def _graph_from_edges(n, edges):
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    return CSRGraph.from_edges(u, v, num_vertices=n)
+
+
+BACKEND_OBJECTS = [
+    NumpyBackend(),
+    ChunkParallelBackend(num_threads=3, min_chunk=2),
+    AutoBackend(threshold=0),  # always routes to the chunked side
+]
+
+
+@pytest.fixture(params=BACKEND_OBJECTS, ids=lambda b: repr(b))
+def backend(request):
+    return request.param
+
+
+class TestEmptyGraph:
+    def test_neighbor_reduce_zero_vertices(self, backend):
+        g = _graph_from_edges(0, [])
+        out = backend.neighbor_max(g, np.empty(0))
+        assert out.shape == (0,)
+
+    def test_first_fit_zero_vertices_requested(self, backend):
+        g = _graph_from_edges(3, [(0, 1)])
+        out = backend.first_fit_colors(
+            g, np.full(3, UNCOLORED, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_edgeless_graph_gets_fill(self, backend):
+        g = _graph_from_edges(4, [])
+        out = backend.neighbor_max(g, np.arange(4, dtype=np.float64))
+        assert np.all(np.isneginf(out))
+
+
+class TestIsolatedVertices:
+    """The ``reduceat`` empty-row quirk: isolated rows must get the fill."""
+
+    def test_isolated_rows_get_identity(self, backend):
+        # vertices 0-1 connected, 2 isolated, 3-4 connected, 5 isolated
+        g = _graph_from_edges(6, [(0, 1), (3, 4)])
+        vals = np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+        hi = backend.neighbor_max(g, vals)
+        lo = backend.neighbor_min(g, vals)
+        assert hi[0] == 20.0 and hi[1] == 10.0
+        assert np.isneginf(hi[2]) and np.isneginf(hi[5])
+        assert np.isposinf(lo[2]) and np.isposinf(lo[5])
+
+    def test_trailing_isolated_row(self, backend):
+        # the last row being empty exercises the sentinel append
+        g = _graph_from_edges(3, [(0, 1)])
+        out = backend.neighbor_max(g, np.array([1.0, 2.0, 3.0]))
+        assert out[0] == 2.0 and out[1] == 1.0
+        assert np.isneginf(out[2])
+
+    def test_first_fit_isolated_vertex(self, backend):
+        g = _graph_from_edges(3, [(0, 1)])
+        colors = np.full(3, UNCOLORED, dtype=np.int64)
+        got = backend.first_fit_colors(g, colors, np.array([2]))
+        assert got.tolist() == [0]
+
+
+class TestSingleVertex:
+    def test_single_vertex_no_edges(self, backend):
+        g = _graph_from_edges(1, [])
+        assert np.isneginf(backend.neighbor_max(g, np.array([7.0])))[0]
+        colors = np.full(1, UNCOLORED, dtype=np.int64)
+        assert backend.first_fit_colors(g, colors, np.array([0])).tolist() == [0]
+
+
+class TestValidation:
+    def test_values_shape_checked(self, backend):
+        g = _graph_from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="one entry per vertex"):
+            backend.neighbor_max(g, np.zeros(2))
+
+    def test_colors_shape_checked(self, backend):
+        g = _graph_from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="one entry per vertex"):
+            backend.first_fit_colors(g, np.zeros(5, dtype=np.int64), np.array([0]))
+
+    def test_vertex_range_checked(self, backend):
+        g = _graph_from_edges(3, [(0, 1)])
+        colors = np.full(3, UNCOLORED, dtype=np.int64)
+        with pytest.raises(ValueError, match="out of range"):
+            backend.first_fit_colors(g, colors, np.array([3]))
+        with pytest.raises(ValueError, match="out of range"):
+            backend.first_fit_colors(g, colors, np.array([-1]))
+
+
+class TestBackendParity:
+    """Chunked results must be bit-identical to the NumPy reference."""
+
+    def test_reductions_match_on_random_graph(self):
+        g = rmat(8, seed=3)
+        rng = np.random.default_rng(0)
+        vals = rng.normal(size=g.num_vertices)
+        ref = NumpyBackend()
+        chunked = ChunkParallelBackend(num_threads=4, min_chunk=8)
+        np.testing.assert_array_equal(ref.neighbor_max(g, vals), chunked.neighbor_max(g, vals))
+        np.testing.assert_array_equal(ref.neighbor_min(g, vals), chunked.neighbor_min(g, vals))
+        np.testing.assert_array_equal(
+            ref.neighbor_reduce(g, vals, np.add, 0.0),
+            chunked.neighbor_reduce(g, vals, np.add, 0.0),
+        )
+
+    def test_first_fit_matches_on_random_graph(self):
+        g = rmat(8, seed=4)
+        rng = np.random.default_rng(1)
+        colors = rng.integers(-1, 5, size=g.num_vertices)
+        verts = np.flatnonzero(colors == UNCOLORED)
+        ref = NumpyBackend().first_fit_colors(g, colors, verts)
+        got = ChunkParallelBackend(num_threads=4, min_chunk=4).first_fit_colors(
+            g, colors, verts
+        )
+        np.testing.assert_array_equal(ref, got)
+
+
+class TestConstruction:
+    def test_make_backend_names(self):
+        assert isinstance(make_backend("numpy"), NumpyBackend)
+        assert isinstance(make_backend("chunked"), ChunkParallelBackend)
+        assert isinstance(make_backend("auto"), AutoBackend)
+        assert set(BACKENDS) == {"auto", "numpy", "chunked"}
+
+    def test_make_backend_passthrough(self):
+        be = NumpyBackend()
+        assert make_backend(be) is be
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("cuda")
+
+    def test_backends_satisfy_protocol(self):
+        for be in BACKEND_OBJECTS:
+            assert isinstance(be, ArrayBackend)
+
+    def test_default_backend_roundtrip(self):
+        original = get_default_backend()
+        try:
+            prev = set_default_backend("numpy")
+            assert prev is original
+            assert isinstance(get_default_backend(), NumpyBackend)
+        finally:
+            set_default_backend(original)
+
+    def test_auto_routes_by_size(self):
+        auto = AutoBackend(threshold=10)
+        assert auto._pick(9) is auto._small
+        assert auto._pick(10) is auto._large

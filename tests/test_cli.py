@@ -7,6 +7,18 @@ from repro.graphs import generators as gen
 from repro.graphs.io import write_dimacs_coloring
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-color" in out
+        assert __version__ in out
+
+
 class TestSuiteCommand:
     def test_prints_table(self, capsys):
         assert main(["suite", "--scale", "tiny"]) == 0
@@ -47,6 +59,10 @@ class TestColorCommand:
             ]
         )
         assert rc == 0
+
+    def test_backend_option(self, capsys):
+        assert main(["color", "road", "--scale", "tiny", "--backend", "chunked"]) == 0
+        assert "result (validated)" in capsys.readouterr().out
 
     def test_file_input(self, tmp_path, capsys):
         p = tmp_path / "g.col"
