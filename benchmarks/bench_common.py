@@ -8,7 +8,10 @@ and appends an :class:`~repro.analysis.experiment.ExperimentRecord` to
 
 Scale defaults to ``standard`` (the paper-like sizes); set
 ``REPRO_BENCH_SCALE=small`` for a quick pass. Runs are cached per
-process so experiments sharing a baseline don't recompute it.
+process so experiments sharing a baseline don't recompute it. Set
+``REPRO_BENCH_TRACE=1`` to run every benchmark under an attached
+tracer (events land in a bounded ring; cycles are unchanged — see
+``bench_obs_overhead.py`` for the proof).
 """
 
 from __future__ import annotations
@@ -18,12 +21,14 @@ from pathlib import Path
 
 from repro.analysis.experiment import ExperimentRecord, save_records
 from repro.coloring.base import ColoringResult
+from repro.engine.context import RunContext
 from repro.gpusim.device import RADEON_HD_7950
 from repro.harness.runner import make_executor, run_gpu_coloring
 from repro.harness.suite import build
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "standard")
+TRACE = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
 DEVICE = RADEON_HD_7950
 
 _RUN_CACHE: dict[tuple, ColoringResult] = {}
@@ -58,11 +63,15 @@ def timed_run(
     )
     if key not in _RUN_CACHE:
         graph = build(dataset, SCALE)
+        context = None
+        if TRACE:
+            context = RunContext(device=DEVICE)
+            context.enable_tracing()
         executor = make_executor(
-            DEVICE, mapping=mapping, schedule=schedule, **config_kwargs
+            DEVICE, mapping=mapping, schedule=schedule, context=context, **config_kwargs
         )
         _RUN_CACHE[key] = run_gpu_coloring(
-            graph, algorithm, executor, seed=seed, **algo_kwargs
+            graph, algorithm, executor, seed=seed, context=context, **algo_kwargs
         )
     return _RUN_CACHE[key]
 

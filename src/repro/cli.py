@@ -9,6 +9,8 @@ Subcommands::
     repro-color stats powerlaw                 # structure + layout analysis
     repro-color convert in.mtx out.col         # graph format conversion
     repro-color sweep rmat --parameter chunk_size 256 512 1024
+    repro-color trace rmat -o rmat.trace.json  # traced run -> Chrome trace
+    repro-color profile rmat                   # per-phase metrics table
 
 Any suite dataset name or a graph file path is accepted wherever a graph
 is expected.
@@ -126,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_color.add_argument(
         "--iterations", action="store_true", help="print the per-iteration history"
     )
+    p_color.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export a trace of the run (format from extension: "
+        ".jsonl → JSONL, .csv → CSV, else Chrome trace JSON)",
+    )
 
     p_cmp = sub.add_parser("compare", help="all GPU algorithms side by side")
     p_cmp.add_argument("graph", help="suite dataset name or graph file")
@@ -160,6 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--run", action="store_true", help="also run maxmin under the winner"
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="run one coloring with tracing on and export the events"
+    )
+    p_trace.add_argument("graph", help="suite dataset name or graph file")
+    p_trace.add_argument(
+        "--algorithm", "-a", default="maxmin", choices=sorted(GPU_ALGORITHMS)
+    )
+    p_trace.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_trace.add_argument(
+        "--schedule",
+        choices=SCHEDULES,
+        default="stealing",
+        help="default 'stealing' so steal events appear in the trace",
+    )
+    p_trace.add_argument("--scale", choices=SCALES, default="small")
+    p_trace.add_argument("--device", default="hd7950")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--output", "-o", default="trace.json", help="trace file to write"
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("auto", "chrome", "jsonl", "csv"),
+        default="auto",
+        help="'auto' picks from the output extension",
+    )
+    p_trace.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="ring-buffer capacity (newest events retained)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile", help="run one coloring and print per-phase metrics"
+    )
+    p_prof.add_argument("graph", help="suite dataset name or graph file")
+    p_prof.add_argument(
+        "--algorithm", "-a", default="maxmin", choices=sorted(GPU_ALGORITHMS)
+    )
+    p_prof.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_prof.add_argument("--schedule", choices=SCHEDULES, default="stealing")
+    p_prof.add_argument("--scale", choices=SCALES, default="small")
+    p_prof.add_argument("--device", default="hd7950")
+    p_prof.add_argument("--seed", type=int, default=0)
+
     p_sweep = sub.add_parser("sweep", help="sweep one execution parameter")
     p_sweep.add_argument("graph", help="suite dataset name or graph file")
     p_sweep.add_argument(
@@ -183,6 +238,33 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_trace(events, path: Path, fmt: str = "auto") -> str:
+    """Write events in the requested (or extension-derived) format."""
+    from .obs import export_chrome_trace, export_csv, export_jsonl
+
+    if fmt == "auto":
+        fmt = {".jsonl": "jsonl", ".csv": "csv"}.get(path.suffix, "chrome")
+    writer = {
+        "jsonl": export_jsonl,
+        "csv": export_csv,
+        "chrome": export_chrome_trace,
+    }[fmt]
+    writer(events, path)
+    return fmt
+
+
+def _trace_summary(ring) -> dict[str, object]:
+    """Event counts by category plus retention stats for one ring."""
+    by_cat: dict[str, int] = {}
+    for ev in ring:
+        by_cat[ev.cat] = by_cat.get(ev.cat, 0) + 1
+    row: dict[str, object] = {"events": ring.emitted, "retained": len(ring)}
+    if ring.dropped:
+        row["dropped (oldest)"] = ring.dropped
+    row.update(sorted(by_cat.items()))
+    return row
+
+
 def _cmd_color(args: argparse.Namespace) -> int:
     graph, name = _resolve_graph(args.graph, args.scale)
     if args.reorder != "none":
@@ -198,9 +280,12 @@ def _cmd_color(args: argparse.Namespace) -> int:
     print(format_kv(summarize(graph, name).as_row(), title="input"))
     print()
     if args.algorithm in CPU_ALGORITHMS:
+        if args.trace:
+            print("note: --trace applies to GPU runs only; ignoring")
         result = run_cpu_coloring(graph, args.algorithm)
     else:
         ctx = _make_context(args)
+        ring = ctx.enable_tracing() if args.trace else None
         executor = ctx.executor(
             mapping=args.mapping,
             schedule=args.schedule,
@@ -215,6 +300,13 @@ def _cmd_color(args: argparse.Namespace) -> int:
         result = run_gpu_coloring(
             graph, args.algorithm, executor, seed=args.seed, context=ctx, **algo_kwargs
         )
+        if ring is not None:
+            out = Path(args.trace)
+            fmt = _export_trace(ring, out)
+            print(
+                f"trace: {len(ring)} events ({ring.dropped} dropped) -> {out} [{fmt}]"
+            )
+            print()
     print(format_kv(result.as_row(), title="result (validated)"))
     if args.iterations and result.iterations:
         print()
@@ -341,6 +433,69 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import DEFAULT_TRACE_CAPACITY, MetricsRegistry
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    ctx = _make_context(args)
+    registry = MetricsRegistry()
+    capacity = args.capacity if args.capacity else DEFAULT_TRACE_CAPACITY
+    ring = ctx.enable_tracing(capacity=capacity, registry=registry)
+    executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
+    result = run_gpu_coloring(
+        graph, args.algorithm, executor, seed=args.seed, context=ctx
+    )
+    out = Path(args.output)
+    fmt = _export_trace(ring, out, args.format)
+    print(format_kv(result.as_row(), title=f"{name}: traced run (validated)"))
+    print()
+    print(format_kv(_trace_summary(ring), title=f"trace -> {out} [{fmt}]"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    ctx = _make_context(args)
+    registry = MetricsRegistry()
+    ctx.enable_tracing(registry=registry)
+    executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
+    result = run_gpu_coloring(
+        graph, args.algorithm, executor, seed=args.seed, context=ctx
+    )
+    print(format_kv(result.as_row(), title=f"{name}: profiled run (validated)"))
+    print()
+    print(
+        format_table(
+            registry.rows(),
+            title=f"per-phase metrics ({args.algorithm}, "
+            f"{args.mapping}/{args.schedule})",
+        )
+    )
+    print()
+    tot = registry.totals()
+    print(
+        format_kv(
+            {
+                "kernels": tot.kernels,
+                "kernel_cycles": round(tot.kernel_cycles, 1),
+                "mean_simd_eff": round(tot.mean_simd_efficiency, 3),
+                "mean_cu_util": round(tot.mean_cu_utilization, 3),
+                "steal_attempts": tot.steal_attempts,
+                "steals_succeeded": tot.steals_succeeded,
+                "steal_success_rate": round(tot.steal_success_rate, 3),
+                "chunks_migrated": tot.chunks_migrated,
+                "launch_fraction": round(
+                    executor.counters.launch_overhead_fraction, 4
+                ),
+            },
+            title="totals",
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     graph, name = _resolve_graph(args.graph, args.scale)
     ctx = _make_context(args)
@@ -384,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "convert": _cmd_convert,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

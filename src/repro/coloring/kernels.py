@@ -290,6 +290,7 @@ class GPUExecutor:
             self.memory,
             tasks_per_group=wf_per_group,
             traffic_elements=traffic_elements,
+            tracer=self.context.tracer,
         )
         # only the trailing partial wavefront idles lanes
         eff = num_items / (n_wf * dev.wavefront_size)
@@ -327,15 +328,25 @@ class GPUExecutor:
                     succeeded=timing.stealing.steals_succeeded,
                     migrated=timing.stealing.chunks_migrated,
                 )
-        if self.context.trace is not None:
-            self.context.trace.append(
-                {
-                    "name": timing.kernels[0] if timing.kernels else "kernel",
-                    "cycles": timing.cycles,
-                    "simd_efficiency": timing.simd_efficiency,
-                    "bandwidth_bound": timing.bandwidth_bound,
-                    "work_items": work_items,
-                }
+        tracer = self.context.tracer
+        if tracer is not None:
+            args: dict[str, object] = {
+                "simd_efficiency": timing.simd_efficiency,
+                "bandwidth_bound": timing.bandwidth_bound,
+                "work_items": work_items,
+                "traffic_elements": traffic_elements,
+                "launch_cycles": self.device.launch_cycles,
+                "mapping": self.config.mapping,
+                "schedule": self.config.schedule,
+            }
+            if timing.stealing is not None:
+                args["steal_attempts"] = timing.stealing.steal_attempts
+                args["steals_succeeded"] = timing.stealing.steals_succeeded
+                args["chunks_migrated"] = timing.stealing.chunks_migrated
+            tracer.kernel(
+                timing.kernels[0] if timing.kernels else "kernel",
+                cycles=timing.cycles,
+                **args,
             )
 
     # -- grid schedule --------------------------------------------------
@@ -349,7 +360,7 @@ class GPUExecutor:
                 workgroup_size=cfg.workgroup_size,
                 traffic_elements=plan.traffic_elements,
             )
-            res = dispatch(spec, dev, self.memory)
+            res = dispatch(spec, dev, self.memory, tracer=self.context.tracer)
             return IterationTiming(
                 cycles=res.total_cycles,
                 simd_efficiency=res.divergence.simd_efficiency,
@@ -368,6 +379,7 @@ class GPUExecutor:
             self.memory,
             traffic_elements=plan.traffic_elements,
             divergence=plan.divergence,
+            tracer=self.context.tracer,
         )
         return IterationTiming(
             cycles=res.total_cycles,
@@ -410,10 +422,32 @@ class GPUExecutor:
                     max_failed_attempts=steal_cfg.max_failed_attempts,
                     seed=steal_cfg.seed,
                 )
-            res = simulate_work_stealing(chunk_cyc, owner, steal_cfg)
+            res = simulate_work_stealing(
+                chunk_cyc, owner, steal_cfg, tracer=self.context.tracer
+            )
         # Roofline still applies: the chunks move the same bytes.
         bw = self.memory.bandwidth_floor_cycles(plan.traffic_elements)
         cycles = launch + max(res.makespan_cycles, bw)
+        tracer = self.context.tracer
+        if tracer is not None:
+            # persistent-schedule analogue of the dispatcher's summary:
+            # how evenly the chunk runtime occupied the workers.
+            util = (
+                float(res.busy_cycles.sum() / (workers * res.makespan_cycles))
+                if res.makespan_cycles > 0
+                else 1.0
+            )
+            tracer.sim_instant(
+                f"{name}:{cfg.schedule}",
+                cat="sched",
+                at=0.0,
+                workgroups=int(chunk_cyc.size),
+                cus=workers,
+                cu_utilization=util,
+                compute_cycles=res.makespan_cycles,
+                bandwidth_cycles=bw,
+                bandwidth_bound=bool(bw > res.makespan_cycles),
+            )
         return IterationTiming(
             cycles=cycles,
             simd_efficiency=plan.simd_efficiency,

@@ -25,11 +25,19 @@ import numpy as np
 from ..gpusim.counters import ExecutionCounters
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from ..gpusim.memory import MemoryModel
+from ..obs.sink import (
+    DEFAULT_TRACE_CAPACITY,
+    LegacyDictListSink,
+    RingBufferSink,
+    TeeSink,
+)
+from ..obs.tracer import Tracer
 from .backend import ArrayBackend, get_default_backend, make_backend
 from .plan import PlanCache
 
 if TYPE_CHECKING:
     from ..coloring.kernels import ExecutionConfig, GPUExecutor
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["RunContext", "resolve_context"]
 
@@ -56,9 +64,19 @@ class RunContext:
         aggregates into it in addition to its own per-run window.
     plans:
         Execution-plan cache shared by every executor in the context.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when attached, the
+        engine, runtime simulators, scheduler, and harness emit typed
+        :class:`~repro.obs.events.TraceEvent` records through it. Most
+        callers use :meth:`enable_tracing` instead of building one.
     trace:
-        Optional kernel-event sink: when a list is supplied, every timed
-        kernel appends a ``{name, cycles, simd_efficiency, ...}`` dict.
+        Deprecated legacy sink: when a list is supplied, every timed
+        kernel appends a ``{name, cycles, simd_efficiency, ...}`` dict
+        (adapted onto the typed sink via
+        :class:`~repro.obs.sink.LegacyDictListSink`). Unbounded — new
+        code should call :meth:`enable_tracing`, whose ring buffer
+        retains only the newest events (see :mod:`repro.obs.sink` for
+        the retention policy).
     """
 
     device: DeviceConfig = RADEON_HD_7950
@@ -67,6 +85,7 @@ class RunContext:
     backend: ArrayBackend | str = "auto"
     counters: ExecutionCounters = field(default_factory=ExecutionCounters)
     plans: PlanCache = field(default_factory=PlanCache)
+    tracer: Tracer | None = None
     trace: list[dict] | None = None
 
     def __post_init__(self) -> None:
@@ -74,6 +93,12 @@ class RunContext:
             self.memory = MemoryModel(self.device)
         if isinstance(self.backend, str):
             self.backend = make_backend(self.backend)
+        if self.trace is not None:
+            legacy = LegacyDictListSink(self.trace)
+            if self.tracer is None:
+                self.tracer = Tracer(legacy)
+            else:
+                self.tracer = Tracer(TeeSink((self.tracer.sink, legacy)))
 
     # ------------------------------------------------------------------
 
@@ -100,6 +125,26 @@ class RunContext:
     def resolve_seed(self, seed: int | None) -> int:
         """An explicit seed wins; ``None`` falls back to the context's."""
         return self.seed if seed is None else int(seed)
+
+    def enable_tracing(
+        self,
+        *,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        registry: "MetricsRegistry | None" = None,
+    ) -> RingBufferSink:
+        """Attach a tracer backed by a bounded ring buffer.
+
+        Returns the :class:`~repro.obs.sink.RingBufferSink` holding the
+        retained events (newest ``capacity``; see :mod:`repro.obs.sink`
+        for the retention policy). Pass a
+        :class:`~repro.obs.registry.MetricsRegistry` to additionally
+        stream every event into per-phase aggregates that survive
+        ring-buffer eviction.
+        """
+        ring = RingBufferSink(capacity=capacity)
+        sink = ring if registry is None else TeeSink((ring, registry))
+        self.tracer = Tracer(sink)
+        return ring
 
 
 def resolve_context(

@@ -98,13 +98,15 @@ class KernelResult:
     @property
     def cu_occupancy(self) -> float:
         """Mean CU utilization over the compute makespan (0..1)."""
-        if self.compute_cycles <= 0:
+        if self.compute_cycles <= 0 or self.cu_busy.size == 0:
             return 1.0
         return float(self.cu_busy.mean() / self.compute_cycles)
 
     @property
     def load_imbalance(self) -> float:
         """``max(CU busy) / mean(CU busy)`` — 1.0 is perfect balance."""
+        if self.cu_busy.size == 0:
+            return 1.0
         mean = float(self.cu_busy.mean())
         if mean == 0:
             return 1.0

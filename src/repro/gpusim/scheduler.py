@@ -21,6 +21,7 @@ at finer chunk granularity attacks).
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from .kernel import KernelResult, KernelSpec
 from .memory import MemoryModel
 from .trace import Timeline
 from .wavefront import divergence_stats, wavefront_costs
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "greedy_schedule",
@@ -109,6 +113,7 @@ def dispatch(
     memory: MemoryModel | None = None,
     *,
     timeline: Timeline | None = None,
+    tracer: "Tracer | None" = None,
 ) -> KernelResult:
     """Simulate one thread-mapped kernel launch on ``device``.
 
@@ -132,6 +137,7 @@ def dispatch(
         spec.traffic_elements,
         divergence_stats(spec.item_cycles, device.wavefront_size),
         timeline,
+        tracer,
     )
 
 
@@ -145,6 +151,7 @@ def dispatch_tasks(
     traffic_elements: float = 0.0,
     divergence: "divergence_stats | None" = None,
     timeline: Timeline | None = None,
+    tracer: "Tracer | None" = None,
 ) -> KernelResult:
     """Dispatch pre-aggregated *wavefront tasks* (cooperative kernels).
 
@@ -158,7 +165,9 @@ def dispatch_tasks(
     tasks = np.asarray(task_cycles, dtype=np.float64).ravel()
     group = tasks_per_group or device.simd_per_cu
     wg = workgroup_costs(tasks, group, device.simd_per_cu)
-    return _finish(name, wg, device, memory, traffic_elements, divergence, timeline)
+    return _finish(
+        name, wg, device, memory, traffic_elements, divergence, timeline, tracer
+    )
 
 
 def _finish(
@@ -169,6 +178,7 @@ def _finish(
     traffic_elements: float,
     divergence,
     timeline: Timeline | None,
+    tracer: "Tracer | None" = None,
 ) -> KernelResult:
     memory = memory or MemoryModel(device)
     _, busy = greedy_schedule(wg_cycles, device.num_cus, timeline=timeline, tag=name)
@@ -176,6 +186,23 @@ def _finish(
     bandwidth = (
         memory.bandwidth_floor_cycles(traffic_elements) if traffic_elements else 0.0
     )
+    if tracer is not None:
+        # one wavefront-scheduling summary per dispatch: how the greedy
+        # workgroup placement occupied the CUs for this launch.
+        util = (
+            float(busy.sum() / (device.num_cus * compute)) if compute > 0 else 1.0
+        )
+        tracer.sim_instant(
+            f"{name}:dispatch",
+            cat="sched",
+            at=0.0,
+            workgroups=int(wg_cycles.size),
+            cus=device.num_cus,
+            cu_utilization=util,
+            compute_cycles=compute,
+            bandwidth_cycles=bandwidth,
+            bandwidth_bound=bandwidth > compute,
+        )
     return KernelResult(
         name=name,
         device=device,

@@ -16,6 +16,7 @@ Two entry points:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -122,23 +123,48 @@ def autotune(
         else deg[rng.choice(deg.size, size=sample_size, replace=False)]
     )
 
-    scoreboard: list[tuple[ExecutionConfig, float]] = []
-    for cfg in candidates:
-        ex = GPUExecutor(device, cfg, context=ctx)
-        cycles = ex.time_iteration(sample, name="probe").cycles
-        scoreboard.append((cfg, cycles))
-    scoreboard.sort(key=lambda t: t[1])
-
-    # tie-break the two leaders on a full sweep
-    leaders = scoreboard[:2]
-    if len(leaders) == 2 and leaders[1][1] < 1.1 * leaders[0][1]:
-        rescored = []
-        for cfg, _ in leaders:
+    tracer = ctx.tracer
+    span = (
+        tracer.span("autotune", candidates=len(candidates))
+        if tracer is not None
+        else nullcontext()
+    )
+    with span:
+        scoreboard: list[tuple[ExecutionConfig, float]] = []
+        for cfg in candidates:
             ex = GPUExecutor(device, cfg, context=ctx)
-            rescored.append((cfg, ex.time_iteration(deg, name="probe-full").cycles))
-        rescored.sort(key=lambda t: t[1])
-        best_cfg, best_cycles = rescored[0]
-    else:
-        best_cfg, best_cycles = scoreboard[0]
+            cycles = ex.time_iteration(sample, name="probe").cycles
+            if tracer is not None:
+                tracer.instant(
+                    f"probe:{cfg.mapping}+{cfg.schedule}",
+                    cat="autotune",
+                    mapping=cfg.mapping,
+                    schedule=cfg.schedule,
+                    degree_threshold=cfg.degree_threshold,
+                    chunk_size=cfg.chunk_size,
+                    probe_cycles=cycles,
+                )
+            scoreboard.append((cfg, cycles))
+        scoreboard.sort(key=lambda t: t[1])
 
+        # tie-break the two leaders on a full sweep
+        leaders = scoreboard[:2]
+        if len(leaders) == 2 and leaders[1][1] < 1.1 * leaders[0][1]:
+            rescored = []
+            for cfg, _ in leaders:
+                ex = GPUExecutor(device, cfg, context=ctx)
+                rescored.append((cfg, ex.time_iteration(deg, name="probe-full").cycles))
+            rescored.sort(key=lambda t: t[1])
+            best_cfg, best_cycles = rescored[0]
+        else:
+            best_cfg, best_cycles = scoreboard[0]
+
+        if tracer is not None:
+            tracer.instant(
+                "autotune-winner",
+                cat="autotune",
+                mapping=best_cfg.mapping,
+                schedule=best_cfg.schedule,
+                best_cycles=best_cycles,
+            )
     return TuneOutcome(best=best_cfg, best_cycles=best_cycles, scoreboard=scoreboard)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -66,7 +67,15 @@ def run_batch(
         executor = make_executor(
             device, mapping=job.mapping, schedule=job.schedule, context=ctx, **job.config
         )
-        result = run_gpu_coloring(graph, job.algorithm, executor, seed=job.seed)
+        span = (
+            ctx.tracer.span(
+                job.name, dataset=job.dataset, algorithm=job.algorithm
+            )
+            if ctx.tracer is not None
+            else nullcontext()
+        )
+        with span:
+            result = run_gpu_coloring(graph, job.algorithm, executor, seed=job.seed)
         rows.append(
             {
                 "job": job.name,

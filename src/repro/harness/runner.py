@@ -9,6 +9,7 @@ to run.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import nullcontext
 
 from ..coloring.base import ColoringResult
 from ..coloring.edge_centric import edge_centric_maxmin
@@ -103,9 +104,26 @@ def run_gpu_coloring(
         raise KeyError(
             f"unknown GPU algorithm {algorithm!r}; known: {sorted(GPU_ALGORITHMS)}"
         ) from None
-    result = fn(graph, executor, seed=seed, context=context, **kwargs)
-    if validate:
-        result.validate(graph)
+    ctx = context if context is not None else getattr(executor, "context", None)
+    tracer = ctx.tracer if ctx is not None else None
+    # Open a phase span only at the outermost level: when a batch cell
+    # (or another harness phase) is already open, its name keeps the
+    # per-kernel attribution instead of collapsing every cell into one
+    # "color:<algorithm>" bucket.
+    span = (
+        tracer.span(
+            f"color:{algorithm}",
+            algorithm=algorithm,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
+        if tracer is not None and tracer.current_phase is None
+        else nullcontext()
+    )
+    with span:
+        result = fn(graph, executor, seed=seed, context=context, **kwargs)
+        if validate:
+            result.validate(graph)
     return result
 
 

@@ -14,12 +14,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..gpusim.events import EventSimulator
 from ..gpusim.trace import Timeline
 from .workstealing import StealingResult
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = ["DonationConfig", "simulate_work_donation"]
 
@@ -57,6 +61,7 @@ def simulate_work_donation(
     config: DonationConfig,
     *,
     record_timeline: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> StealingResult:
     """Event-driven donation run over pre-costed chunks.
 
@@ -64,6 +69,12 @@ def simulate_work_donation(
     for drop-in comparison; ``steal_attempts``/``steals_succeeded``
     count overflow fetch attempts/hits and ``chunks_migrated`` the
     donated chunks.
+
+    With a :class:`~repro.obs.tracer.Tracer` attached, deque-to-overflow
+    migrations land as ``"donate"`` instants and overflow pops as
+    ``"overflow-fetch"`` (category ``"steal"``, so one trace viewer
+    track shows both balancers' migrations). Tracing is observation
+    only: it never changes the schedule or the reported cycles.
     """
     costs = np.asarray(chunk_cycles, dtype=np.float64).ravel()
     who = np.asarray(owner, dtype=np.int64).ravel()
@@ -116,6 +127,11 @@ def simulate_work_donation(
                 now += config.donate_cycles
                 if timeline is not None:
                     timeline.record(me, sim.now, now, f"donate{give}")
+                if tracer is not None:
+                    tracer.sim_instant(
+                        "donate", cat="steal", at=now, track=1 + me,
+                        donor=me, chunks=give,
+                    )
             overhead[me] += config.pop_cycles
             run_chunk(me, dq.pop(), now + config.pop_cycles)
             return
@@ -123,6 +139,11 @@ def simulate_work_donation(
             stats["attempts"] += 1
             stats["hits"] += 1
             overhead[me] += config.fetch_cycles
+            if tracer is not None:
+                tracer.sim_instant(
+                    "overflow-fetch", cat="steal",
+                    at=now + config.fetch_cycles, track=1 + me, thief=me,
+                )
             run_chunk(me, overflow.popleft(), now + config.fetch_cycles)
             return
         if remaining == 0:

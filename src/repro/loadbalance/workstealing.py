@@ -20,11 +20,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..gpusim.events import EventSimulator
 from ..gpusim.trace import Timeline
+
+if TYPE_CHECKING:
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "StealingConfig",
@@ -141,11 +145,19 @@ def simulate_work_stealing(
     config: StealingConfig,
     *,
     record_timeline: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> StealingResult:
     """Event-driven work-stealing run over pre-costed chunks.
 
     ``chunk_cycles[i]`` is the execution cost of chunk ``i`` (already
     wavefront-aggregated by the caller); ``owner[i]`` its initial worker.
+
+    When a :class:`~repro.obs.tracer.Tracer` is attached, every steal
+    attempt lands in the sink as an instant at its simulated time —
+    ``"steal"`` (with thief/victim/migrated chunk count) on success,
+    ``"steal-fail"`` otherwise — nested inside the kernel event the
+    executor emits afterwards. Tracing never touches the victim RNG or
+    the event queue, so traced and untraced runs are cycle-identical.
     """
     costs = np.asarray(chunk_cycles, dtype=np.float64).ravel()
     who = np.asarray(owner, dtype=np.int64).ravel()
@@ -220,6 +232,16 @@ def simulate_work_stealing(
             failed[me] = 0
             if timeline is not None:
                 timeline.record(me, sim.now, when, f"steal<{victim}")
+            if tracer is not None:
+                tracer.sim_instant(
+                    "steal",
+                    cat="steal",
+                    at=when,
+                    track=1 + me,
+                    thief=me,
+                    victim=victim,
+                    chunks=take,
+                )
             # The thief takes one stolen chunk into its hands immediately
             # (it cannot be re-stolen) and queues the rest — this is what
             # guarantees progress: every successful steal executes work.
@@ -229,6 +251,15 @@ def simulate_work_stealing(
             overhead[me] += config.pop_cycles
         else:
             failed[me] += 1
+            if tracer is not None:
+                tracer.sim_instant(
+                    "steal-fail",
+                    cat="steal",
+                    at=when,
+                    track=1 + me,
+                    thief=me,
+                    victim=-1 if victim is None else victim,
+                )
             if failed[me] >= config.max_failed_attempts:
                 return  # give up; stragglers finish without this worker
             sim.schedule_at(when, lambda me=me: step(me))

@@ -86,10 +86,19 @@ def percent_improvement(baseline: float, optimized: float) -> float:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (the cross-suite summary)."""
+    """Geometric mean of non-negative values (the cross-suite summary).
+
+    Any zero value makes the product — and therefore the mean — exactly
+    0.0. Zeros are routine in per-worker load profiles (idle workers
+    under a static partition), so they must not crash the reduction:
+    ``math.log`` is only ever applied to strictly positive values.
+    Negative values have no geometric mean and raise.
+    """
     vals = [float(v) for v in values]
     if not vals:
         raise ValueError("need at least one value")
-    if any(v <= 0 for v in vals):
-        raise ValueError("geometric mean needs positive values")
+    if any(v < 0 for v in vals):
+        raise ValueError("geometric mean needs non-negative values")
+    if any(v == 0 for v in vals):
+        return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))

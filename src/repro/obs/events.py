@@ -1,0 +1,161 @@
+"""Typed trace records — the vocabulary of the observability layer.
+
+Every instrumented layer (kernel launches, steal attempts, wavefront
+scheduling, harness phases) reports the same two record shapes:
+
+* :class:`TraceEvent` — one immutable timed record. ``ph`` follows the
+  Chrome ``trace_event`` phase codes (``"X"`` complete, ``"i"`` instant,
+  ``"C"`` counter) so exporting is a projection, not a translation.
+* :class:`Span` — an open interval under construction (a harness phase
+  such as one batch cell or an autotune session); closing it yields its
+  :class:`TraceEvent`.
+
+Events live in one of two clock domains: ``"cycles"`` — the simulator's
+virtual time axis, laid end-to-end by the tracer as kernels are timed —
+and ``"wall"`` — host microseconds for harness phases. Exporters keep
+the domains on separate tracks; they are never mixed on one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CYCLES",
+    "WALL",
+    "PHASES",
+    "TraceEvent",
+    "Span",
+]
+
+#: clock domain of simulator-time events (virtual cycles)
+CYCLES = "cycles"
+#: clock domain of host-time events (microseconds since tracer start)
+WALL = "wall"
+
+#: Chrome trace_event phase codes the layer emits.
+PHASES = ("X", "i", "C")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One immutable trace record.
+
+    Parameters
+    ----------
+    name:
+        What happened (kernel name, ``"steal"``, phase label, ...).
+    cat:
+        Event category: ``"kernel"``, ``"steal"``, ``"sched"``,
+        ``"phase"``, ``"mark"``, or ``"counter"`` — the exporters and
+        :class:`~repro.obs.registry.MetricsRegistry` route on this.
+    ts:
+        Start timestamp in the event's clock ``domain`` (cycles, or µs
+        for ``"wall"``).
+    dur:
+        Duration (0 for instants/counters), same unit as ``ts``.
+    ph:
+        Chrome phase code: ``"X"`` complete, ``"i"`` instant, ``"C"``
+        counter.
+    track:
+        Sub-track within the domain (worker id for steal events, 0 for
+        the main kernel track) — becomes the Chrome ``tid``.
+    domain:
+        Clock domain, :data:`CYCLES` or :data:`WALL`.
+    args:
+        Free-form payload (``simd_efficiency``, ``victim``, ...).
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float = 0.0
+    ph: str = "X"
+    track: int = 0
+    domain: str = CYCLES
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ph not in PHASES:
+            raise ValueError(f"ph must be one of {PHASES}")
+        if self.domain not in (CYCLES, WALL):
+            raise ValueError(f"domain must be {CYCLES!r} or {WALL!r}")
+        if self.dur < 0:
+            raise ValueError("dur must be non-negative")
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dict form (the JSONL line)."""
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "ts": self.ts,
+            "dur": self.dur,
+            "ph": self.ph,
+            "track": self.track,
+            "domain": self.domain,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict` (tolerates missing defaults)."""
+        return cls(
+            name=d["name"],
+            cat=d["cat"],
+            ts=float(d["ts"]),
+            dur=float(d.get("dur", 0.0)),
+            ph=d.get("ph", "X"),
+            track=int(d.get("track", 0)),
+            domain=d.get("domain", CYCLES),
+            args=dict(d.get("args", {})),
+        )
+
+
+@dataclass
+class Span:
+    """An open wall-clock interval (a harness phase in progress).
+
+    Produced by :meth:`repro.obs.tracer.Tracer.span`; ``close`` stamps
+    the end and :meth:`to_event` converts the finished span into its
+    ``"X"`` :class:`TraceEvent` on the wall track.
+    """
+
+    name: str
+    cat: str = "phase"
+    start_us: float = 0.0
+    end_us: float | None = None
+    track: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_us - self.start_us
+
+    def close(self, end_us: float) -> "Span":
+        if end_us < self.start_us:
+            raise ValueError("span must end at or after its start")
+        self.end_us = end_us
+        return self
+
+    def to_event(self) -> TraceEvent:
+        return TraceEvent(
+            name=self.name,
+            cat=self.cat,
+            ts=self.start_us,
+            dur=self.duration_us,
+            ph="X",
+            track=self.track,
+            domain=WALL,
+            args=dict(self.args),
+        )

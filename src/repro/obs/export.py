@@ -1,0 +1,178 @@
+"""Trace exporters — JSONL, CSV, and Chrome ``trace_event`` JSON.
+
+All three accept either a sink (its retained events are exported) or a
+plain iterable of :class:`~repro.obs.events.TraceEvent`:
+
+* **JSONL** — one ``TraceEvent.to_dict()`` per line; lossless, round
+  trips through :func:`read_jsonl`. The machine-analysis format.
+* **CSV** — fixed columns with the ``args`` payload JSON-encoded in the
+  last column. The spreadsheet format.
+* **Chrome trace** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` / Perfetto load directly. The two clock domains
+  become two processes: pid 1 carries simulated-cycle events (scaled by
+  ``cycles_per_us``), pid 2 carries wall-clock harness phases.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from .events import CYCLES, TraceEvent
+from .sink import TraceSink, _as_events
+
+__all__ = [
+    "export_jsonl",
+    "read_jsonl",
+    "export_csv",
+    "to_chrome_events",
+    "export_chrome_trace",
+]
+
+_CSV_COLUMNS = ("name", "cat", "ph", "ts", "dur", "track", "domain", "args")
+
+
+def _json_default(obj: object) -> object:
+    """Serialize numpy scalars (and anything item()-able) transparently."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return str(obj)
+
+#: Chrome pid used for each clock domain (separate processes keep the
+#: incommensurable time axes from overlapping in the UI).
+_PID_CYCLES = 1
+_PID_WALL = 2
+
+
+def export_jsonl(source: "TraceSink | Iterable[TraceEvent]", path: str | Path) -> int:
+    """Write one JSON object per event; returns the event count."""
+    events = _as_events(source)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), default=_json_default) + "\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load events written by :func:`export_jsonl`."""
+    out: list[TraceEvent] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out
+
+
+def export_csv(source: "TraceSink | Iterable[TraceEvent]", path: str | Path) -> int:
+    """Write events as CSV (``args`` JSON-encoded); returns the count."""
+    events = _as_events(source)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for ev in events:
+            writer.writerow(
+                [
+                    ev.name,
+                    ev.cat,
+                    ev.ph,
+                    ev.ts,
+                    ev.dur,
+                    ev.track,
+                    ev.domain,
+                    json.dumps(dict(ev.args), default=_json_default),
+                ]
+            )
+    return len(events)
+
+
+def to_chrome_events(
+    source: "TraceSink | Iterable[TraceEvent]",
+    *,
+    cycles_per_us: float = 1000.0,
+) -> list[dict]:
+    """Project events onto Chrome ``trace_event`` dicts.
+
+    Simulated-cycle timestamps are scaled by ``cycles_per_us`` onto the
+    microsecond axis (the default keeps numbers readable rather than
+    physically meaningful); wall events are already in microseconds.
+    """
+    if cycles_per_us <= 0:
+        raise ValueError("cycles_per_us must be positive")
+    events = _as_events(source)
+    chrome: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID_CYCLES,
+            "args": {"name": "gpusim (simulated cycles)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID_WALL,
+            "args": {"name": "harness (wall clock)"},
+        },
+    ]
+    named_tracks: set[tuple[int, int]] = set()
+    for ev in events:
+        pid = _PID_CYCLES if ev.domain == CYCLES else _PID_WALL
+        scale = cycles_per_us if ev.domain == CYCLES else 1.0
+        key = (pid, ev.track)
+        if key not in named_tracks:
+            named_tracks.add(key)
+            label = (
+                "kernels" if ev.track == 0 else f"worker {ev.track - 1}"
+            ) if pid == _PID_CYCLES else "phases"
+            chrome.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": ev.track,
+                    "args": {"name": label},
+                }
+            )
+        rec: dict = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "pid": pid,
+            "tid": ev.track,
+            "ts": ev.ts / scale,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur / scale
+        if ev.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        if ev.ph == "C":
+            rec["args"] = {"value": ev.args.get("value", 0.0)}
+        elif ev.args:
+            rec["args"] = dict(ev.args)
+        chrome.append(rec)
+    return chrome
+
+
+def export_chrome_trace(
+    source: "TraceSink | Iterable[TraceEvent]",
+    path: str | Path,
+    *,
+    cycles_per_us: float = 1000.0,
+) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the count."""
+    events = _as_events(source)
+    payload = {
+        "traceEvents": to_chrome_events(events, cycles_per_us=cycles_per_us),
+        "displayTimeUnit": "ms",
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, default=_json_default))
+    return len(events)

@@ -1,0 +1,183 @@
+"""Metrics registry — streaming per-phase aggregation of trace events.
+
+The ring buffer answers "what happened recently"; the registry answers
+"where did the time go" without retaining events at all. It implements
+the sink protocol, so it can be teed next to a buffer (see
+:meth:`repro.engine.context.RunContext.enable_tracing`) and consume
+every event the moment it is emitted — its totals are exact even when
+the ring buffer has long since evicted the early events.
+
+Aggregation key is the **phase**: the innermost open tracer span when
+the event was emitted (kernel events carry it in ``args["phase"]``;
+span events aggregate under their own name). Events emitted outside any
+span land in the ``"(no phase)"`` bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import TraceEvent
+
+__all__ = ["PhaseStats", "MetricsRegistry", "UNPHASED"]
+
+#: bucket for events emitted outside any tracer span
+UNPHASED = "(no phase)"
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated counters for one phase."""
+
+    phase: str
+    kernels: int = 0
+    kernel_cycles: float = 0.0
+    launch_cycles: float = 0.0
+    bandwidth_bound_kernels: int = 0
+    work_items: int = 0
+    traffic_elements: float = 0.0
+    steal_attempts: int = 0
+    steals_succeeded: int = 0
+    chunks_migrated: int = 0
+    spans: int = 0
+    wall_us: float = 0.0
+    _eff_weighted: float = field(default=0.0, repr=False)
+    _eff_weight: float = field(default=0.0, repr=False)
+    _util_weighted: float = field(default=0.0, repr=False)
+    _util_weight: float = field(default=0.0, repr=False)
+
+    @property
+    def mean_simd_efficiency(self) -> float:
+        """Work-item-weighted SIMD efficiency (1.0 for an empty phase)."""
+        if self._eff_weight == 0:
+            return 1.0
+        return self._eff_weighted / self._eff_weight
+
+    @property
+    def mean_cu_utilization(self) -> float:
+        """Compute-cycle-weighted CU occupancy from scheduler events."""
+        if self._util_weight == 0:
+            return 1.0
+        return self._util_weighted / self._util_weight
+
+    @property
+    def steal_success_rate(self) -> float:
+        """Fraction of steal attempts that found work (0.0 when none)."""
+        if self.steal_attempts == 0:
+            return 0.0
+        return self.steals_succeeded / self.steal_attempts
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "phase": self.phase,
+            "kernels": self.kernels,
+            "cycles": round(self.kernel_cycles, 1),
+            "simd_eff": round(self.mean_simd_efficiency, 3),
+            "cu_util": round(self.mean_cu_utilization, 3),
+            "steals": f"{self.steals_succeeded}/{self.steal_attempts}",
+            "migrated": self.chunks_migrated,
+            "wall_ms": round(self.wall_us / 1e3, 3),
+        }
+
+
+class MetricsRegistry:
+    """A sink that folds the event stream into per-phase statistics."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseStats] = {}
+
+    # -- sink protocol --------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.cat == "kernel":
+            self._on_kernel(event)
+        elif event.cat == "steal":
+            self._on_steal(event)
+        elif event.cat == "sched":
+            self._on_sched(event)
+        elif event.ph == "X" and event.domain == "wall":
+            self._on_span(event)
+        # marks/counters carry no aggregate
+
+    # -- routing --------------------------------------------------------
+
+    def phase(self, name: str) -> PhaseStats:
+        """The (created-on-demand) stats bucket for one phase."""
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = PhaseStats(phase=name)
+        return stats
+
+    def _bucket(self, event: TraceEvent) -> PhaseStats:
+        return self.phase(str(event.args.get("phase", UNPHASED)))
+
+    def _on_kernel(self, event: TraceEvent) -> None:
+        st = self._bucket(event)
+        a = event.args
+        st.kernels += 1
+        st.kernel_cycles += event.dur
+        st.launch_cycles += float(a.get("launch_cycles", 0.0))
+        if a.get("bandwidth_bound"):
+            st.bandwidth_bound_kernels += 1
+        items = int(a.get("work_items", 0))
+        st.work_items += items
+        st.traffic_elements += float(a.get("traffic_elements", 0.0))
+        eff = a.get("simd_efficiency")
+        if eff is not None and items > 0:
+            st._eff_weighted += float(eff) * items
+            st._eff_weight += items
+        # aggregate steal traffic from the kernel summary, not from the
+        # per-attempt instants, so totals survive ring-buffer eviction
+        # and tracing configurations that suppress instants.
+        st.steal_attempts += int(a.get("steal_attempts", 0))
+        st.steals_succeeded += int(a.get("steals_succeeded", 0))
+        st.chunks_migrated += int(a.get("chunks_migrated", 0))
+
+    def _on_steal(self, event: TraceEvent) -> None:
+        # per-attempt instants are timeline detail; totals come from the
+        # kernel summary (see _on_kernel), so nothing to fold here.
+        self._bucket(event)
+
+    def _on_sched(self, event: TraceEvent) -> None:
+        st = self._bucket(event)
+        util = event.args.get("cu_utilization")
+        weight = float(event.args.get("compute_cycles", 0.0))
+        if util is not None and weight > 0:
+            st._util_weighted += float(util) * weight
+            st._util_weight += weight
+
+    def _on_span(self, event: TraceEvent) -> None:
+        st = self.phase(event.name)
+        st.spans += 1
+        st.wall_us += event.dur
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def phases(self) -> dict[str, PhaseStats]:
+        return dict(self._phases)
+
+    def rows(self) -> list[dict[str, object]]:
+        """One table row per phase, in first-seen order."""
+        return [st.as_row() for st in self._phases.values()]
+
+    def totals(self) -> PhaseStats:
+        """Everything folded into one bucket (phase ``"total"``)."""
+        tot = PhaseStats(phase="total")
+        for st in self._phases.values():
+            tot.kernels += st.kernels
+            tot.kernel_cycles += st.kernel_cycles
+            tot.launch_cycles += st.launch_cycles
+            tot.bandwidth_bound_kernels += st.bandwidth_bound_kernels
+            tot.work_items += st.work_items
+            tot.traffic_elements += st.traffic_elements
+            tot.steal_attempts += st.steal_attempts
+            tot.steals_succeeded += st.steals_succeeded
+            tot.chunks_migrated += st.chunks_migrated
+            tot.spans += st.spans
+            tot.wall_us += st.wall_us
+            tot._eff_weighted += st._eff_weighted
+            tot._eff_weight += st._eff_weight
+            tot._util_weighted += st._util_weighted
+            tot._util_weight += st._util_weight
+        return tot

@@ -1,0 +1,140 @@
+"""The tracer — the one handle instrumented layers emit through.
+
+A :class:`Tracer` owns a sink and two clocks:
+
+* a **cycle cursor**: timed kernels are laid end-to-end on the
+  simulator's virtual time axis (each :meth:`kernel` call occupies
+  ``[cursor, cursor + cycles)`` and advances the cursor), and events
+  that happen *inside* a kernel (steal attempts, scheduler decisions)
+  are stamped relative to the current kernel's start via
+  :meth:`sim_instant`;
+* a **wall clock**: harness phases (:meth:`span`) and host-side marks
+  are stamped in microseconds since the tracer was created.
+
+The zero-cost contract: layers hold no tracer of their own — they check
+``context.tracer is None`` (one attribute load and an ``is`` test) and
+emit nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .events import CYCLES, WALL, Span, TraceEvent
+from .sink import TraceSink
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Emits typed events into a sink, tracking both clock domains."""
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self._cycle_cursor = 0.0
+        self._wall0_ns = time.perf_counter_ns()
+        self._phase_stack: list[str] = []
+
+    # -- clocks ---------------------------------------------------------
+
+    @property
+    def cycles_now(self) -> float:
+        """Virtual-time cursor: where the next kernel will start."""
+        return self._cycle_cursor
+
+    def wall_us(self) -> float:
+        """Host microseconds since this tracer was created."""
+        return (time.perf_counter_ns() - self._wall0_ns) / 1e3
+
+    @property
+    def current_phase(self) -> str | None:
+        """Innermost open span name (kernel events are tagged with it)."""
+        return self._phase_stack[-1] if self._phase_stack else None
+
+    # -- emission -------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self.sink.emit(event)
+
+    def kernel(self, name: str, *, cycles: float, track: int = 0, **args: Any) -> None:
+        """Record one timed kernel launch and advance the cycle cursor."""
+        phase = self.current_phase
+        if phase is not None:
+            args.setdefault("phase", phase)
+        self.emit(
+            TraceEvent(
+                name=name,
+                cat="kernel",
+                ts=self._cycle_cursor,
+                dur=float(cycles),
+                ph="X",
+                track=track,
+                domain=CYCLES,
+                args=args,
+            )
+        )
+        self._cycle_cursor += float(cycles)
+
+    def sim_instant(
+        self, name: str, *, cat: str, at: float, track: int = 0, **args: Any
+    ) -> None:
+        """An instant at ``at`` cycles into the kernel being timed.
+
+        Called by the runtime simulators *before* the enclosing
+        :meth:`kernel` event lands, so the cursor still points at the
+        kernel's start and the instant nests inside its interval.
+        """
+        phase = self.current_phase
+        if phase is not None:
+            args.setdefault("phase", phase)
+        self.emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ts=self._cycle_cursor + float(at),
+                ph="i",
+                track=track,
+                domain=CYCLES,
+                args=args,
+            )
+        )
+
+    def instant(self, name: str, *, cat: str = "mark", **args: Any) -> None:
+        """A wall-clock instant (host-side milestone)."""
+        self.emit(
+            TraceEvent(
+                name=name, cat=cat, ts=self.wall_us(), ph="i", domain=WALL, args=args
+            )
+        )
+
+    def counter(self, name: str, value: float, *, cat: str = "counter") -> None:
+        """A wall-clock counter sample (Chrome renders these as area tracks)."""
+        self.emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ts=self.wall_us(),
+                ph="C",
+                domain=WALL,
+                args={"value": float(value)},
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, *, cat: str = "phase", **args: Any) -> Iterator[Span]:
+        """Open a wall-clock phase; the event is emitted when it closes.
+
+        While the span is open it is the :attr:`current_phase`, so every
+        kernel timed inside it is attributed to it (this is what the
+        :class:`~repro.obs.registry.MetricsRegistry` groups by).
+        """
+        sp = Span(name=name, cat=cat, start_us=self.wall_us(), args=args)
+        self._phase_stack.append(name)
+        try:
+            yield sp
+        finally:
+            self._phase_stack.pop()
+            sp.close(self.wall_us())
+            self.emit(sp.to_event())

@@ -141,6 +141,25 @@ class TestDispatch:
         assert res.compute_cycles == 0.0
         assert res.cu_occupancy == 1.0
 
+    def test_empty_cu_busy_no_nan(self):
+        # Regression: occupancy/imbalance over an empty cu_busy array
+        # used to propagate NaN (np.mean([]) warning) instead of the
+        # neutral 1.0.
+        from repro.gpusim.kernel import KernelResult
+
+        res = KernelResult(
+            name="empty",
+            device=SMALL_TEST_DEVICE,
+            compute_cycles=10.0,
+            bandwidth_cycles=0.0,
+            launch_cycles=0.0,
+            workgroup_cycles=np.array([]),
+            cu_busy=np.array([]),
+        )
+        with np.errstate(all="raise"):
+            assert res.cu_occupancy == 1.0
+            assert res.load_imbalance == 1.0
+
     def test_as_row(self):
         spec = KernelSpec("mykernel", np.ones(8), workgroup_size=4)
         row = dispatch(spec, SMALL_TEST_DEVICE).as_row()

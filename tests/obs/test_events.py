@@ -1,0 +1,78 @@
+"""Unit tests for the typed trace records (TraceEvent / Span)."""
+
+import pytest
+
+from repro.obs.events import CYCLES, WALL, Span, TraceEvent
+
+
+class TestTraceEvent:
+    def test_defaults(self):
+        ev = TraceEvent(name="k", cat="kernel", ts=10.0, dur=5.0)
+        assert ev.ph == "X"
+        assert ev.domain == CYCLES
+        assert ev.track == 0
+        assert ev.args == {}
+        assert ev.end == 15.0
+
+    def test_rejects_unknown_phase_code(self):
+        with pytest.raises(ValueError, match="ph"):
+            TraceEvent(name="x", cat="kernel", ts=0.0, ph="B")
+
+    def test_rejects_unknown_domain(self):
+        with pytest.raises(ValueError, match="domain"):
+            TraceEvent(name="x", cat="kernel", ts=0.0, domain="gps")
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            TraceEvent(name="x", cat="kernel", ts=0.0, dur=-1.0)
+
+    def test_is_immutable(self):
+        ev = TraceEvent(name="k", cat="kernel", ts=0.0)
+        with pytest.raises(AttributeError):
+            ev.ts = 5.0
+
+    def test_dict_round_trip(self):
+        ev = TraceEvent(
+            name="steal",
+            cat="steal",
+            ts=42.0,
+            dur=0.0,
+            ph="i",
+            track=3,
+            domain=CYCLES,
+            args={"thief": 2, "victim": 0},
+        )
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+    def test_from_dict_tolerates_missing_defaults(self):
+        ev = TraceEvent.from_dict({"name": "k", "cat": "kernel", "ts": 1})
+        assert ev.dur == 0.0
+        assert ev.ph == "X"
+        assert ev.domain == CYCLES
+        assert ev.args == {}
+
+
+class TestSpan:
+    def test_open_then_close(self):
+        sp = Span(name="phase1", start_us=100.0)
+        assert not sp.closed
+        sp.close(250.0)
+        assert sp.closed
+        assert sp.duration_us == 150.0
+
+    def test_duration_of_open_span_raises(self):
+        with pytest.raises(ValueError, match="open"):
+            Span(name="p", start_us=0.0).duration_us
+
+    def test_close_before_start_raises(self):
+        with pytest.raises(ValueError):
+            Span(name="p", start_us=10.0).close(5.0)
+
+    def test_to_event_is_wall_complete(self):
+        sp = Span(name="batch:web", start_us=7.0, args={"algorithm": "maxmin"})
+        ev = sp.close(19.0).to_event()
+        assert ev.ph == "X"
+        assert ev.domain == WALL
+        assert ev.ts == 7.0
+        assert ev.dur == 12.0
+        assert ev.args["algorithm"] == "maxmin"

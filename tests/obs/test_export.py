@@ -1,0 +1,121 @@
+"""Unit tests for the trace exporters (JSONL, CSV, Chrome trace)."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import WALL, TraceEvent
+from repro.obs.export import (
+    export_chrome_trace,
+    export_csv,
+    export_jsonl,
+    read_jsonl,
+    to_chrome_events,
+)
+from repro.obs.sink import RingBufferSink
+
+
+def sample_events():
+    return [
+        TraceEvent(name="assign", cat="kernel", ts=0.0, dur=100.0,
+                   args={"work_items": 64}),
+        TraceEvent(name="steal", cat="steal", ts=40.0, ph="i", track=3,
+                   args={"thief": 2, "victim": 0}),
+        TraceEvent(name="color:maxmin", cat="phase", ts=10.0, dur=900.0,
+                   domain=WALL),
+        TraceEvent(name="colors", cat="counter", ts=950.0, ph="C",
+                   domain=WALL, args={"value": 12.0}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "t.jsonl"
+        assert export_jsonl(events, path) == len(events)
+        assert read_jsonl(path) == events
+
+    def test_accepts_sink(self, tmp_path):
+        ring = RingBufferSink()
+        for ev in sample_events():
+            ring.emit(ev)
+        path = tmp_path / "t.jsonl"
+        export_jsonl(ring, path)
+        assert len(read_jsonl(path)) == len(ring)
+
+    def test_numpy_scalars_serialized(self, tmp_path):
+        ev = TraceEvent(
+            name="k", cat="kernel", ts=0.0, dur=float(np.float64(5)),
+            args={"bandwidth_bound": np.bool_(True), "items": np.int64(7)},
+        )
+        path = tmp_path / "np.jsonl"
+        export_jsonl([ev], path)
+        back = read_jsonl(path)[0]
+        assert back.args["bandwidth_bound"] is True
+        assert back.args["items"] == 7
+
+
+class TestCsv:
+    def test_columns_and_args_payload(self, tmp_path):
+        path = tmp_path / "t.csv"
+        assert export_csv(sample_events(), path) == 4
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert rows[0]["name"] == "assign"
+        assert json.loads(rows[0]["args"])["work_items"] == 64
+        assert rows[1]["ph"] == "i"
+        assert rows[2]["domain"] == WALL
+
+
+class TestChromeTrace:
+    def test_domains_map_to_pids(self):
+        chrome = to_chrome_events(sample_events())
+        data = [r for r in chrome if r["ph"] != "M"]
+        kernel = next(r for r in data if r["name"] == "assign")
+        phase = next(r for r in data if r["name"] == "color:maxmin")
+        assert kernel["pid"] == 1  # simulated cycles
+        assert phase["pid"] == 2  # wall clock
+
+    def test_cycle_timestamps_scaled(self):
+        chrome = to_chrome_events(sample_events(), cycles_per_us=10.0)
+        kernel = next(r for r in chrome if r["name"] == "assign")
+        assert kernel["ts"] == 0.0
+        assert kernel["dur"] == pytest.approx(10.0)  # 100 cycles / 10
+        phase = next(r for r in chrome if r["name"] == "color:maxmin")
+        assert phase["ts"] == 10.0  # wall µs pass through unscaled
+
+    def test_metadata_names_processes_and_tracks(self):
+        chrome = to_chrome_events(sample_events())
+        meta = [r for r in chrome if r["ph"] == "M"]
+        names = {r["args"]["name"] for r in meta}
+        assert "gpusim (simulated cycles)" in names
+        assert "harness (wall clock)" in names
+        assert "kernels" in names  # cycles track 0
+        assert "worker 2" in names  # steal instant on track 3
+
+    def test_instants_thread_scoped(self):
+        chrome = to_chrome_events(sample_events())
+        steal = next(r for r in chrome if r["name"] == "steal")
+        assert steal["ph"] == "i"
+        assert steal["s"] == "t"
+
+    def test_counter_value(self):
+        chrome = to_chrome_events(sample_events())
+        counter = next(r for r in chrome if r["ph"] == "C")
+        assert counter["args"] == {"value": 12.0}
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            to_chrome_events([], cycles_per_us=0.0)
+
+    def test_export_file_loads_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert export_chrome_trace(sample_events(), path) == 4
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+        phases = {r["ph"] for r in payload["traceEvents"]}
+        assert {"X", "i", "C", "M"} <= phases

@@ -1,0 +1,128 @@
+"""Unit tests for the MetricsRegistry's streaming per-phase aggregation."""
+
+import pytest
+
+from repro.obs.events import WALL, TraceEvent
+from repro.obs.registry import UNPHASED, MetricsRegistry
+from repro.obs.sink import RingBufferSink, TeeSink
+from repro.obs.tracer import Tracer
+
+
+def kernel_event(phase=None, cycles=100.0, **extra):
+    args = dict(extra)
+    if phase is not None:
+        args["phase"] = phase
+    return TraceEvent(name="k", cat="kernel", ts=0.0, dur=cycles, args=args)
+
+
+class TestKernelAggregation:
+    def test_routes_by_phase(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event(phase="a", cycles=10.0))
+        reg.emit(kernel_event(phase="a", cycles=30.0))
+        reg.emit(kernel_event(phase="b", cycles=5.0))
+        assert reg.phase("a").kernels == 2
+        assert reg.phase("a").kernel_cycles == 40.0
+        assert reg.phase("b").kernels == 1
+
+    def test_unphased_bucket(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event())
+        assert reg.phase(UNPHASED).kernels == 1
+
+    def test_weighted_simd_efficiency(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event(phase="p", simd_efficiency=1.0, work_items=100))
+        reg.emit(kernel_event(phase="p", simd_efficiency=0.5, work_items=300))
+        assert reg.phase("p").mean_simd_efficiency == pytest.approx(0.625)
+
+    def test_efficiency_defaults_to_one_when_unobserved(self):
+        assert MetricsRegistry().phase("empty").mean_simd_efficiency == 1.0
+
+    def test_steal_totals_fold_from_kernel_summary(self):
+        # totals come from the kernel event's args (which survive ring
+        # eviction), not from counting per-attempt instants
+        reg = MetricsRegistry()
+        reg.emit(
+            kernel_event(
+                phase="p", steal_attempts=8, steals_succeeded=6, chunks_migrated=11
+            )
+        )
+        st = reg.phase("p")
+        assert st.steal_attempts == 8
+        assert st.steals_succeeded == 6
+        assert st.chunks_migrated == 11
+        assert st.steal_success_rate == pytest.approx(0.75)
+
+    def test_steal_success_rate_zero_attempts(self):
+        # attempts == 0 must read as 0.0, not divide by zero
+        assert MetricsRegistry().phase("idle").steal_success_rate == 0.0
+
+    def test_bandwidth_bound_and_launch(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event(phase="p", bandwidth_bound=True, launch_cycles=7.0))
+        reg.emit(kernel_event(phase="p", bandwidth_bound=False, launch_cycles=3.0))
+        st = reg.phase("p")
+        assert st.bandwidth_bound_kernels == 1
+        assert st.launch_cycles == 10.0
+
+
+class TestSchedAndSpans:
+    def test_cu_utilization_weighted_by_compute(self):
+        reg = MetricsRegistry()
+        reg.emit(
+            TraceEvent(
+                name="d", cat="sched", ts=0.0, ph="i",
+                args={"phase": "p", "cu_utilization": 1.0, "compute_cycles": 100.0},
+            )
+        )
+        reg.emit(
+            TraceEvent(
+                name="d", cat="sched", ts=0.0, ph="i",
+                args={"phase": "p", "cu_utilization": 0.2, "compute_cycles": 300.0},
+            )
+        )
+        assert reg.phase("p").mean_cu_utilization == pytest.approx(0.4)
+
+    def test_span_wall_time_accumulates_under_own_name(self):
+        reg = MetricsRegistry()
+        reg.emit(
+            TraceEvent(name="cell", cat="phase", ts=0.0, dur=500.0, domain=WALL)
+        )
+        reg.emit(
+            TraceEvent(name="cell", cat="phase", ts=600.0, dur=100.0, domain=WALL)
+        )
+        st = reg.phase("cell")
+        assert st.spans == 2
+        assert st.wall_us == 600.0
+
+
+class TestReporting:
+    def test_rows_and_totals(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event(phase="a", cycles=10.0, work_items=5))
+        reg.emit(kernel_event(phase="b", cycles=20.0, work_items=7))
+        rows = reg.rows()
+        assert [r["phase"] for r in rows] == ["a", "b"]
+        tot = reg.totals()
+        assert tot.kernels == 2
+        assert tot.kernel_cycles == 30.0
+        assert tot.work_items == 12
+
+    def test_as_row_keys(self):
+        reg = MetricsRegistry()
+        reg.emit(kernel_event(phase="p"))
+        row = reg.rows()[0]
+        assert {"phase", "kernels", "cycles", "steals", "wall_ms"} <= set(row)
+
+
+class TestAsTeedSink:
+    def test_totals_survive_ring_eviction(self):
+        reg = MetricsRegistry()
+        ring = RingBufferSink(capacity=2)
+        tr = Tracer(TeeSink((ring, reg)))
+        for _ in range(10):
+            tr.kernel("k", cycles=1.0)
+        assert len(ring) == 2  # buffer truncated...
+        assert ring.dropped == 8
+        assert reg.totals().kernels == 10  # ...but aggregates exact

@@ -1,0 +1,100 @@
+"""Unit tests for the Tracer: clocks, phase stack, emission shapes."""
+
+from repro.obs.events import CYCLES, WALL
+from repro.obs.sink import RingBufferSink
+from repro.obs.tracer import Tracer
+
+
+def make():
+    ring = RingBufferSink()
+    return Tracer(ring), ring
+
+
+class TestCycleCursor:
+    def test_kernels_lay_end_to_end(self):
+        tr, ring = make()
+        tr.kernel("a", cycles=100.0)
+        tr.kernel("b", cycles=50.0)
+        a, b = ring.events
+        assert (a.ts, a.dur) == (0.0, 100.0)
+        assert (b.ts, b.dur) == (100.0, 50.0)
+        assert tr.cycles_now == 150.0
+
+    def test_sim_instant_nests_in_upcoming_kernel(self):
+        # simulators emit instants before the executor records the
+        # kernel, so the instant's ts falls inside the kernel interval
+        tr, ring = make()
+        tr.kernel("warmup", cycles=10.0)
+        tr.sim_instant("steal", cat="steal", at=4.0, track=2, thief=1)
+        tr.kernel("assign", cycles=20.0)
+        steal, kernel = ring.events[1], ring.events[2]
+        assert steal.ts == 14.0
+        assert steal.ph == "i"
+        assert steal.domain == CYCLES
+        assert steal.track == 2
+        assert kernel.ts <= steal.ts < kernel.end
+
+
+class TestWallClock:
+    def test_instant_and_counter_are_wall_domain(self):
+        tr, ring = make()
+        tr.instant("loaded", cat="mark", path="g.mtx")
+        tr.counter("colors", 12)
+        mark, counter = ring.events
+        assert mark.domain == WALL
+        assert mark.ph == "i"
+        assert mark.args["path"] == "g.mtx"
+        assert counter.ph == "C"
+        assert counter.args["value"] == 12.0
+
+    def test_wall_clock_monotonic(self):
+        tr, _ = make()
+        assert tr.wall_us() <= tr.wall_us()
+
+
+class TestSpans:
+    def test_span_emits_on_exit(self):
+        tr, ring = make()
+        with tr.span("color:maxmin", algorithm="maxmin"):
+            assert len(ring) == 0  # nothing emitted while open
+        assert len(ring) == 1
+        ev = ring.events[0]
+        assert ev.cat == "phase"
+        assert ev.ph == "X"
+        assert ev.domain == WALL
+        assert ev.dur >= 0
+        assert ev.args["algorithm"] == "maxmin"
+
+    def test_current_phase_tracks_innermost(self):
+        tr, _ = make()
+        assert tr.current_phase is None
+        with tr.span("outer"):
+            assert tr.current_phase == "outer"
+            with tr.span("inner"):
+                assert tr.current_phase == "inner"
+            assert tr.current_phase == "outer"
+        assert tr.current_phase is None
+
+    def test_phase_stack_unwinds_on_error(self):
+        tr, ring = make()
+        try:
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tr.current_phase is None
+        assert len(ring) == 1  # span event still emitted
+
+    def test_kernel_tagged_with_open_phase(self):
+        tr, ring = make()
+        with tr.span("cell:web"):
+            tr.kernel("assign", cycles=5.0)
+            tr.sim_instant("steal", cat="steal", at=1.0)
+        kernel, steal = ring.events[0], ring.events[1]
+        assert kernel.args["phase"] == "cell:web"
+        assert steal.args["phase"] == "cell:web"
+
+    def test_kernel_outside_span_untagged(self):
+        tr, ring = make()
+        tr.kernel("assign", cycles=5.0)
+        assert "phase" not in ring.events[0].args

@@ -161,6 +161,85 @@ class TestReportCommand:
         assert "full-sweep load profile" in out
 
 
+class TestTraceCommand:
+    def test_chrome_trace_written(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "rmat", "--scale", "tiny", "-o", str(out)])
+        assert rc == 0
+        assert "traced run (validated)" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        # the traced run must cover kernels and the harness phase span
+        cats = {e.get("cat") for e in events if e["ph"] != "M"}
+        assert "kernel" in cats
+        assert "phase" in cats
+
+    def test_jsonl_format_round_trips(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        rc = main(["trace", "powerlaw", "--scale", "tiny", "-o", str(out)])
+        assert rc == 0
+        events = read_jsonl(out)
+        assert events
+        assert any(e.cat == "kernel" for e in events)
+
+    def test_explicit_format_beats_extension(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.dat"
+        rc = main(
+            ["trace", "road", "--scale", "tiny", "-o", str(out),
+             "--format", "jsonl"]
+        )
+        assert rc == 0
+        first = out.read_text().splitlines()[0]
+        assert json.loads(first)["name"]
+
+    def test_capacity_caps_retained_events(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "rmat", "--scale", "tiny", "-o", str(out),
+             "--capacity", "3"]
+        )
+        assert rc == 0
+        assert "dropped (oldest)" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_per_phase_table_and_totals(self, capsys):
+        rc = main(["profile", "powerlaw", "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiled run (validated)" in out
+        assert "per-phase metrics" in out
+        assert "steal_success_rate" in out
+
+
+class TestColorTraceFlag:
+    def test_gpu_run_exports_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.json"
+        rc = main(["color", "road", "--scale", "tiny", "--trace", str(out)])
+        assert rc == 0
+        assert "trace:" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_cpu_run_ignores_trace(self, tmp_path, capsys):
+        out = tmp_path / "cpu.json"
+        rc = main(
+            ["color", "road", "--scale", "tiny", "-a", "dsatur",
+             "--trace", str(out)]
+        )
+        assert rc == 0
+        assert "ignoring" in capsys.readouterr().out
+        assert not out.exists()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

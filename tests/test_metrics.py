@@ -80,8 +80,42 @@ class TestGeometricMean:
     def test_single_value(self):
         assert geometric_mean([7.0]) == pytest.approx(7.0)
 
-    def test_rejects_empty_and_nonpositive(self):
+    def test_rejects_empty_and_negative(self):
         with pytest.raises(ValueError):
             geometric_mean([])
         with pytest.raises(ValueError):
-            geometric_mean([1.0, 0.0])
+            geometric_mean([1.0, -0.5])
+
+    def test_zero_value_yields_zero(self):
+        # Regression: this used to raise (math.log(0) guard rejected the
+        # whole input). A zero makes the product — and the mean — zero.
+        assert geometric_mean([1.0, 0.0]) == 0.0
+        assert geometric_mean([0.0]) == 0.0
+
+    def test_idle_worker_load_profile(self):
+        # Regression: per-worker load profiles routinely contain idle
+        # (zero-load) workers under a static partition; summarizing them
+        # must not crash.
+        loads = np.array([12.0, 0.0, 7.0, 0.0, 3.0])
+        assert geometric_mean(loads.tolist()) == 0.0
+        assert geometric_mean(loads[loads > 0].tolist()) == pytest.approx(
+            (12.0 * 7.0 * 3.0) ** (1 / 3)
+        )
+
+
+class TestEmptyArrayNaN:
+    """Reductions over empty/degenerate arrays must not propagate NaN."""
+
+    def test_imbalance_factor_empty_no_warning(self):
+        with np.errstate(all="raise"):
+            assert imbalance_factor(np.array([])) == 1.0
+
+    def test_cv_and_idle_empty_no_warning(self):
+        with np.errstate(all="raise"):
+            assert coefficient_of_variation(np.array([])) == 0.0
+            assert idle_fraction(np.array([])) == 0.0
+
+    def test_no_nan_from_zero_profiles(self):
+        for fn in (imbalance_factor, coefficient_of_variation, idle_fraction):
+            out = fn(np.zeros(6))
+            assert out == out  # not NaN
