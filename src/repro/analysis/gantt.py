@@ -43,7 +43,7 @@ def render_gantt(
     for p in range(timeline.num_pipes):
         mask = pipes == p
         row = np.zeros(width, dtype=bool)
-        for s, e in zip(starts[mask], ends[mask]):
+        for s, e in zip(starts[mask], ends[mask], strict=True):
             lo = int(s / cell)
             hi = min(int(np.ceil(e / cell)), width)
             if e > s:

@@ -50,11 +50,11 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths, strict=True))
     lines.append(header)
     lines.append("  ".join("-" * w for w in widths))
     for r in grid:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -49,7 +49,7 @@ def timeline_to_trace_events(
             }
         )
     for pipe, start, end, tag in zip(
-        timeline.pipes, timeline.starts, timeline.ends, timeline.tags
+        timeline.pipes, timeline.starts, timeline.ends, timeline.tags, strict=True
     ):
         events.append(
             {

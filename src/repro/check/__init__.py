@@ -1,0 +1,73 @@
+"""``repro.check`` — invariant validators, race detection, and lint.
+
+The correctness toolbox that lets performance work refactor hot paths
+without fear. Four pillars:
+
+* :mod:`~repro.check.validators` — post-run invariant validators:
+  proper-coloring, CSR structure, scheduler/trace sanity. Every check
+  produces a :class:`~repro.check.validators.Report` instead of
+  raising, so a validation pass can collect *all* violations at once.
+* :mod:`~repro.check.races` — a simulated-race detector: replays an
+  algorithm's logical memory accesses through an
+  :class:`~repro.check.races.AccessLog` (per-array-index reads/writes
+  tagged by wavefront and kernel step) and flags conflicting same-step
+  accesses from different wavefronts that lack an atomic/sync edge.
+* :mod:`~repro.check.determinism` — golden run digests (colors +
+  cycles + steal counts hashed) with drift detection and run diffing.
+* :mod:`~repro.check.lint` — a repo-specific AST lint pass (seeded
+  RNG, no wall-clock in the simulated-cycle domain, no CSR mutation
+  inside kernels, no unbounded trace appends).
+
+Surfaced through ``repro check {validate,races,lint,golden}`` on the
+CLI and the ``--validate`` flag on ``color``/runner/batch.
+"""
+
+from .determinism import (
+    DriftReport,
+    RunDigest,
+    check_drift,
+    compare_runs,
+    digest_result,
+    golden_digests,
+    load_golden,
+    save_golden,
+)
+from .lint import LintViolation, lint_paths, lint_source
+from .races import AccessLog, RaceFinding, RaceScan, detect_races, scan_algorithm_races
+from .validators import (
+    CheckFailedError,
+    Issue,
+    Report,
+    validate_coloring,
+    validate_csr,
+    validate_dispatch,
+    validate_run,
+    validate_trace,
+)
+
+__all__ = [
+    "AccessLog",
+    "CheckFailedError",
+    "DriftReport",
+    "Issue",
+    "LintViolation",
+    "RaceFinding",
+    "RaceScan",
+    "Report",
+    "RunDigest",
+    "check_drift",
+    "compare_runs",
+    "detect_races",
+    "digest_result",
+    "golden_digests",
+    "lint_paths",
+    "lint_source",
+    "load_golden",
+    "save_golden",
+    "scan_algorithm_races",
+    "validate_coloring",
+    "validate_csr",
+    "validate_dispatch",
+    "validate_run",
+    "validate_trace",
+]

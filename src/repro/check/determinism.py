@@ -1,0 +1,227 @@
+"""Determinism harness — golden digests and drift detection.
+
+Every run of this codebase is supposed to be *exactly* reproducible:
+seeded priorities, a deterministic event simulator (time ties break in
+scheduling order), and a seeded victim RNG make colors, total cycles,
+and steal counts pure functions of (graph, algorithm, configuration,
+seed). This module turns that promise into something checkable:
+
+* :func:`digest_result` hashes one finished run — the full color
+  array, the rounded cycle total, and the steal counters — into a
+  :class:`RunDigest`.
+* :func:`golden_digests` produces digests for a matrix of
+  (dataset × algorithm × schedule) cells; :func:`save_golden` /
+  :func:`load_golden` persist them as JSON.
+* :func:`check_drift` compares a fresh matrix against a committed
+  baseline and reports exactly *which* field of *which* cell moved —
+  a cycle drift without a color drift points at the timing model, a
+  color drift at an algorithm/RNG change, a steal drift at the
+  work-stealing runtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..coloring.base import ColoringResult
+    from ..gpusim.counters import ExecutionCounters
+
+__all__ = [
+    "RunDigest",
+    "DriftReport",
+    "digest_result",
+    "golden_digests",
+    "compare_runs",
+    "save_golden",
+    "load_golden",
+    "check_drift",
+    "DEFAULT_GOLDEN_MATRIX",
+]
+
+#: cycle totals are rounded to this many decimals before hashing, so a
+#: digest is stable against sub-femtocycle float-repr noise while still
+#: catching any real timing change.
+CYCLE_DECIMALS = 3
+
+#: the matrix the CLI/CI golden check runs by default: every GPU
+#: algorithm on two structurally different suite graphs, grid plus the
+#: paper's work-stealing schedule (exercising the steal counters).
+DEFAULT_GOLDEN_MATRIX: tuple[tuple[str, str, str], ...] = tuple(
+    (dataset, algorithm, schedule)
+    for dataset in ("rmat", "grid2d")
+    for algorithm in (
+        "maxmin",
+        "jp",
+        "speculative",
+        "hybrid-switch",
+        "edge-centric",
+        "partitioned",
+    )
+    for schedule in ("grid", "stealing")
+)
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """Hashable fingerprint of one run's observable outcome."""
+
+    key: str  # "dataset/algorithm:mapping+schedule@seed"
+    colors_sha: str
+    num_colors: int
+    num_iterations: int
+    total_cycles: float
+    steal_attempts: int = 0
+    steals_succeeded: int = 0
+    chunks_migrated: int = 0
+
+    @property
+    def digest(self) -> str:
+        """One combined hash over every tracked field."""
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "key": self.key,
+            "colors": self.num_colors,
+            "iters": self.num_iterations,
+            "cycles": self.total_cycles,
+            "steals": self.steals_succeeded,
+            "digest": self.digest[:12],
+        }
+
+
+def digest_result(
+    result: "ColoringResult",
+    *,
+    key: str = "",
+    counters: "ExecutionCounters | None" = None,
+) -> RunDigest:
+    """Fingerprint a finished run (optionally with its steal counters)."""
+    colors = np.ascontiguousarray(np.asarray(result.colors), dtype=np.int64)
+    sha = hashlib.sha256(colors.tobytes()).hexdigest()
+    return RunDigest(
+        key=key or result.algorithm,
+        colors_sha=sha,
+        num_colors=result.num_colors,
+        num_iterations=result.num_iterations,
+        total_cycles=round(float(result.total_cycles), CYCLE_DECIMALS),
+        steal_attempts=counters.steal_attempts if counters else 0,
+        steals_succeeded=counters.steals_succeeded if counters else 0,
+        chunks_migrated=counters.chunks_migrated if counters else 0,
+    )
+
+
+def golden_digests(
+    matrix: tuple[tuple[str, str, str], ...] = DEFAULT_GOLDEN_MATRIX,
+    *,
+    scale: str = "tiny",
+    mapping: str = "thread",
+    seed: int = 0,
+) -> list[RunDigest]:
+    """Run every (dataset, algorithm, schedule) cell and digest it.
+
+    Imports the harness lazily (``repro.check`` must stay importable
+    from the harness without a cycle).
+    """
+    from ..engine.context import RunContext
+    from ..harness.runner import run_gpu_coloring
+    from ..harness.suite import build
+
+    digests: list[RunDigest] = []
+    for dataset, algorithm, schedule in matrix:
+        graph = build(dataset, scale)
+        ctx = RunContext(seed=seed)
+        executor = ctx.executor(mapping=mapping, schedule=schedule)
+        result = run_gpu_coloring(graph, algorithm, executor, seed=seed, context=ctx)
+        key = f"{dataset}/{algorithm}:{mapping}+{schedule}@{seed}"
+        digests.append(digest_result(result, key=key, counters=executor.counters))
+    return digests
+
+
+def compare_runs(a: RunDigest, b: RunDigest) -> list[str]:
+    """Field-level diff between two digests (empty = identical)."""
+    diffs: list[str] = []
+    for name in (
+        "colors_sha",
+        "num_colors",
+        "num_iterations",
+        "total_cycles",
+        "steal_attempts",
+        "steals_succeeded",
+        "chunks_migrated",
+    ):
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            if name == "colors_sha":
+                diffs.append(f"colors_sha {va[:12]}… → {vb[:12]}…")
+            else:
+                diffs.append(f"{name} {va} → {vb}")
+    return diffs
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a baseline-vs-current golden comparison."""
+
+    drifted: dict[str, list[str]] = field(default_factory=dict)
+    missing: list[str] = field(default_factory=list)  # in baseline, not current
+    extra: list[str] = field(default_factory=list)  # in current, not baseline
+    matched: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted and not self.missing
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "DRIFT"
+        lines = [
+            f"golden: {status} — {self.matched} cells identical, "
+            f"{len(self.drifted)} drifted, {len(self.missing)} missing, "
+            f"{len(self.extra)} new"
+        ]
+        for key, diffs in sorted(self.drifted.items()):
+            lines.append(f"  {key}:")
+            lines.extend(f"    {d}" for d in diffs)
+        lines.extend(f"  missing from current: {k}" for k in self.missing)
+        lines.extend(f"  not in baseline: {k}" for k in self.extra)
+        return "\n".join(lines)
+
+
+def save_golden(digests: list[RunDigest], path: str | Path) -> None:
+    """Persist digests as sorted, human-diffable JSON."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    payload = {d.key: asdict(d) for d in sorted(digests, key=lambda d: d.key)}
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_golden(path: str | Path) -> list[RunDigest]:
+    raw = json.loads(Path(path).read_text())
+    return [RunDigest(**fields) for fields in raw.values()]
+
+
+def check_drift(baseline: list[RunDigest], current: list[RunDigest]) -> DriftReport:
+    """Compare a current digest set against the committed baseline."""
+    base = {d.key: d for d in baseline}
+    cur = {d.key: d for d in current}
+    report = DriftReport()
+    for key, b in base.items():
+        c = cur.get(key)
+        if c is None:
+            report.missing.append(key)
+            continue
+        diffs = compare_runs(b, c)
+        if diffs:
+            report.drifted[key] = diffs
+        else:
+            report.matched += 1
+    report.extra = sorted(set(cur) - set(base))
+    return report

@@ -1,0 +1,299 @@
+"""Repo-specific AST lint pass — rules generic linters can't know.
+
+These rules encode *this* codebase's architectural contracts; each has
+a determinism or correctness rationale that ruff/flake8 cannot express:
+
+* ``RC001`` **seeded-rng** — no unseeded ``np.random.*``. Every run
+  must be a pure function of its seed (the determinism harness hashes
+  colors), so legacy global-state RNG calls (``np.random.rand``,
+  ``np.random.shuffle``, ...) and ``np.random.default_rng()`` with no
+  seed are banned; use a seeded ``Generator``.
+* ``RC002`` **no-wall-clock-in-sim** — no ``time.*`` /
+  ``datetime.now`` inside ``gpusim/`` or ``coloring/``. Those layers
+  live in the simulated-cycle domain; wall-clock reads there either
+  leak into results (breaking reproducibility) or mix clock domains
+  the observability layer keeps separate (``repro.obs`` owns the wall
+  clock).
+* ``RC003`` **frozen-csr** — no mutation of CSR arrays (``indptr`` /
+  ``indices`` subscript stores, rebinding, or ``setflags``) inside
+  ``gpusim/`` or ``coloring/``. Kernels take read-only views of the
+  immutable graph; a mutation would silently corrupt every other
+  kernel sharing it.
+* ``RC004`` **bounded-traces** — no ``*.trace.append(...)`` /
+  ``trace.append(...)`` outside ``repro/obs``. Unbounded trace lists
+  were the pre-obs memory leak; all event retention goes through the
+  bounded sinks in :mod:`repro.obs.sink`.
+
+Suppress a finding with an inline ``# check: allow(RCnnn)`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: rule id → one-line description (the CLI prints these for --explain).
+RULES: dict[str, str] = {
+    "RC001": "unseeded np.random.* call — use a seeded np.random.Generator",
+    "RC002": "wall-clock read inside the simulated-cycle domain (gpusim/coloring)",
+    "RC003": "mutation of CSR arrays (indptr/indices) inside kernel code",
+    "RC004": "unbounded trace-list append outside the repro.obs sinks",
+}
+
+#: np.random entry points that take (or wrap) an explicit seed — calls
+#: to anything else on np.random hit hidden global RNG state.
+_SEEDED_FACTORIES = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: wall-clock callables on the stdlib ``time`` module (sleep included:
+#: a sleeping simulator layer is always a bug).
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "sleep",
+}
+
+#: path fragments (relative, POSIX) the sim-domain rules apply to.
+_SIM_DOMAIN = ("gpusim/", "coloring/")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` → ``["a", "b", "c"]``; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _suppressed(source_lines: list[str], line: int, rule: str) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    return f"check: allow({rule})" in text
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, in_sim_domain: bool, in_obs: bool) -> None:
+        self.path = path
+        self.in_sim_domain = in_sim_domain
+        self.in_obs = in_obs
+        self.violations: list[LintViolation] = []
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- RC001 ----------------------------------------------------------
+
+    def _check_random(self, node: ast.Call, chain: list[str]) -> None:
+        # matches np.random.X(...) / numpy.random.X(...)
+        if len(chain) < 3 or chain[0] not in ("np", "numpy") or chain[1] != "random":
+            return
+        func = chain[2]
+        if func not in _SEEDED_FACTORIES:
+            self._flag(
+                "RC001",
+                node,
+                f"np.random.{func}() uses unseeded global RNG state; "
+                "use a seeded np.random.default_rng(seed)",
+            )
+            return
+        if func == "default_rng" and not node.args and not node.keywords:
+            self._flag(
+                "RC001",
+                node,
+                "np.random.default_rng() without a seed is entropy-seeded; "
+                "pass an explicit seed",
+            )
+
+    # -- RC002 ----------------------------------------------------------
+
+    def _check_wall_clock(self, node: ast.Call, chain: list[str]) -> None:
+        if not self.in_sim_domain:
+            return
+        if len(chain) == 2 and chain[0] == "time" and chain[1] in _TIME_FUNCS:
+            self._flag(
+                "RC002",
+                node,
+                f"time.{chain[1]}() in the simulated-cycle domain; timing "
+                "belongs to the simulator, wall clocks to repro.obs",
+            )
+        if (
+            len(chain) >= 2
+            and chain[-1] in ("now", "utcnow", "today")
+            and "datetime" in chain[:-1]
+        ):
+            self._flag(
+                "RC002",
+                node,
+                "datetime wall-clock read in the simulated-cycle domain",
+            )
+
+    # -- RC003 ----------------------------------------------------------
+
+    def _check_csr_store(self, target: ast.AST, node: ast.AST) -> None:
+        if not self.in_sim_domain:
+            return
+        if isinstance(target, ast.Subscript):
+            chain = _attr_chain(target.value)
+            if chain and chain[-1] in ("indptr", "indices") and len(chain) >= 2:
+                self._flag(
+                    "RC003",
+                    node,
+                    f"subscript store into {'.'.join(chain)} — CSR arrays "
+                    "are immutable inside kernels",
+                )
+        elif isinstance(target, ast.Attribute) and target.attr in (
+            "indptr",
+            "indices",
+        ):
+            chain = _attr_chain(target)
+            if chain:
+                self._flag(
+                    "RC003",
+                    node,
+                    f"rebinding {'.'.join(chain)} — CSR arrays are immutable "
+                    "inside kernels",
+                )
+
+    def _check_setflags(self, node: ast.Call, chain: list[str]) -> None:
+        if not self.in_sim_domain:
+            return
+        if len(chain) >= 3 and chain[-1] == "setflags" and chain[-2] in (
+            "indptr",
+            "indices",
+        ):
+            self._flag(
+                "RC003",
+                node,
+                f"{'.'.join(chain)}() — un-freezing CSR buffers inside "
+                "kernel code",
+            )
+
+    # -- RC004 ----------------------------------------------------------
+
+    def _check_trace_append(self, node: ast.Call, chain: list[str]) -> None:
+        if self.in_obs:
+            return
+        if len(chain) >= 2 and chain[-1] == "append" and chain[-2] == "trace":
+            self._flag(
+                "RC004",
+                node,
+                f"{'.'.join(chain)}(...) grows an unbounded trace list; "
+                "emit through a bounded repro.obs sink instead",
+            )
+
+    # -- dispatch -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            self._check_random(node, chain)
+            self._check_wall_clock(node, chain)
+            self._check_setflags(node, chain)
+            self._check_trace_append(node, chain)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_csr_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_csr_store(node.target, node)
+        self.generic_visit(node)
+
+
+def _domain_flags(path: str) -> tuple[bool, bool]:
+    posix = Path(path).as_posix()
+    in_sim = any(frag in posix for frag in _SIM_DOMAIN)
+    in_obs = "obs/" in posix or posix.endswith("obs")
+    return in_sim, in_obs
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one module's source text; ``path`` scopes the domain rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule="RC000",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    in_sim, in_obs = _domain_flags(path)
+    checker = _Checker(path, in_sim, in_obs)
+    checker.visit(tree)
+    lines = source.splitlines()
+    return [
+        v for v in checker.violations if not _suppressed(lines, v.line, v.rule)
+    ]
+
+
+def lint_file(path: str | Path) -> list[LintViolation]:
+    p = Path(path)
+    return lint_source(p.read_text(), str(p))
+
+
+def lint_paths(paths: tuple[str, ...] | list[str] = ("src",)) -> list[LintViolation]:
+    """Lint every ``*.py`` under the given files/directories, sorted."""
+    violations: list[LintViolation] = []
+    for entry in paths:
+        p = Path(entry)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            if "__pycache__" in f.parts:
+                continue
+            violations.extend(lint_file(f))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col))

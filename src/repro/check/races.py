@@ -1,0 +1,517 @@
+"""Simulated-race detector — prove where the benign races live.
+
+The speculative kernel's whole design is a *deliberate* data race:
+active vertices first-fit color themselves against a snapshot while
+their neighbors do the same, and a separate detection kernel repairs
+the collisions (paper stages E2/E5). Independent-set algorithms
+(Jones–Plassmann, max-min) are supposed to be race-free by
+construction. Nothing in the repo proved either claim — this module
+does.
+
+The mechanism is an opt-in access-log shim over the simulated memory
+model: algorithms are *replayed* with every logical array access
+recorded into an :class:`AccessLog` — per array, per element index,
+tagged with the issuing SIMT thread, its wavefront, and the kernel
+step. Kernel launches are sync edges (``AccessLog.next_step``), so two
+accesses can only race when they hit the same element of the same
+array, in the same step, from *different wavefronts*, at least one is
+a write, and they are not both atomic.
+
+Wavefront granularity matches the machine model: lanes of one
+wavefront execute in lockstep, so intra-wavefront interleavings cannot
+produce the read-stale-then-write hazards the conflict-resolution
+cycle exists to repair.
+
+:func:`scan_algorithm_races` replays the real algorithm loops
+(the same numpy primitives the timed runs use, same seeds, same
+colors out) and classifies findings against each algorithm's declared
+*expected-racy* arrays — the speculative scan must localize every race
+to ``colors``; a race anywhere else, or any race at all under
+Jones–Plassmann or max-min, is a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coloring._nbr import first_fit_colors, neighbor_max, neighbor_min
+from ..coloring.base import UNCOLORED
+from ..graphs.csr import CSRGraph
+
+__all__ = [
+    "Access",
+    "AccessLog",
+    "RaceFinding",
+    "RaceScan",
+    "detect_races",
+    "scan_algorithm_races",
+    "RACE_SCANNERS",
+]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logical element access (sample of a finding, not the log form)."""
+
+    array: str
+    index: int
+    kind: str  # "r" | "w"
+    thread: int
+    wavefront: int
+    step: int
+    atomic: bool = False
+
+
+@dataclass
+class _StepLog:
+    """Vectorized access columns for one (array, step) bucket."""
+
+    indices: list[np.ndarray] = field(default_factory=list)
+    threads: list[np.ndarray] = field(default_factory=list)
+    writes: list[np.ndarray] = field(default_factory=list)
+    atomics: list[np.ndarray] = field(default_factory=list)
+
+
+class AccessLog:
+    """Records per-array-index reads/writes tagged by wavefront and step.
+
+    ``thread_ids`` are logical SIMT thread ids (position in the kernel's
+    work assignment); the log derives wavefronts as
+    ``thread // wavefront_size``. Calls are vectorized: one
+    :meth:`read`/:meth:`write` records a whole index array at once.
+    """
+
+    def __init__(self, wavefront_size: int = 64) -> None:
+        if wavefront_size <= 0:
+            raise ValueError("wavefront_size must be positive")
+        self.wavefront_size = wavefront_size
+        self.step = 0
+        self.step_names: list[str] = ["step0"]
+        self._buckets: dict[tuple[str, int], _StepLog] = {}
+        self.total_accesses = 0
+
+    def next_step(self, name: str = "") -> int:
+        """Advance past a kernel-launch boundary (a global sync edge)."""
+        self.step += 1
+        self.step_names.append(name or f"step{self.step}")
+        return self.step
+
+    def _record(
+        self,
+        array: str,
+        indices: np.ndarray,
+        threads: np.ndarray,
+        *,
+        write: bool,
+        atomic: bool,
+    ) -> None:
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64)).ravel()
+        tid = np.atleast_1d(np.asarray(threads, dtype=np.int64)).ravel()
+        if tid.size == 1 and idx.size > 1:
+            tid = np.full(idx.size, tid[0], dtype=np.int64)
+        if idx.shape != tid.shape:
+            raise ValueError("indices and thread ids must align")
+        if idx.size == 0:
+            return
+        bucket = self._buckets.setdefault((array, self.step), _StepLog())
+        bucket.indices.append(idx)
+        bucket.threads.append(tid)
+        bucket.writes.append(np.full(idx.size, write))
+        bucket.atomics.append(np.full(idx.size, atomic))
+        self.total_accesses += idx.size
+
+    def read(
+        self,
+        array: str,
+        indices: np.ndarray,
+        threads: np.ndarray,
+        *,
+        atomic: bool = False,
+    ) -> None:
+        self._record(array, indices, threads, write=False, atomic=atomic)
+
+    def write(
+        self,
+        array: str,
+        indices: np.ndarray,
+        threads: np.ndarray,
+        *,
+        atomic: bool = False,
+    ) -> None:
+        self._record(array, indices, threads, write=True, atomic=atomic)
+
+    @property
+    def arrays(self) -> list[str]:
+        return sorted({a for a, _ in self._buckets})
+
+    def buckets(self):
+        """Yield ``(array, step, indices, wavefronts, writes, atomics)``."""
+        for (array, step), b in sorted(self._buckets.items()):
+            idx = np.concatenate(b.indices)
+            tid = np.concatenate(b.threads)
+            yield (
+                array,
+                step,
+                idx,
+                tid // self.wavefront_size,
+                np.concatenate(b.writes),
+                np.concatenate(b.atomics),
+                tid,
+            )
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """Conflicting same-step accesses to one element from ≥2 wavefronts."""
+
+    array: str
+    index: int
+    step: int
+    step_name: str
+    num_accesses: int
+    num_wavefronts: int
+    has_write_write: bool
+    expected: bool  # declared benign for the scanned algorithm
+    samples: tuple[Access, ...] = ()
+
+    def describe(self) -> str:
+        kind = "write/write" if self.has_write_write else "read/write"
+        tag = "expected" if self.expected else "UNEXPECTED"
+        return (
+            f"[{tag}] {kind} race on {self.array}[{self.index}] in "
+            f"{self.step_name}: {self.num_accesses} accesses from "
+            f"{self.num_wavefronts} wavefronts"
+        )
+
+
+def detect_races(
+    log: AccessLog,
+    *,
+    expected_racy: frozenset[str] | set[str] = frozenset(),
+    max_findings_per_array: int = 50,
+    counts_out: dict[str, int] | None = None,
+) -> list[RaceFinding]:
+    """Flag same-step, cross-wavefront conflicts lacking an atomic edge.
+
+    An element conflicts when, within one kernel step, it is touched by
+    two or more distinct wavefronts, at least one access is a write,
+    and not every write is atomic (atomic RMW sequences serialize at
+    the memory controller, so all-atomic contention is ordered).
+    Findings on arrays in ``expected_racy`` are kept but marked
+    ``expected`` — the caller's proof is "every race is expected".
+
+    At most ``max_findings_per_array`` findings are materialized per
+    array; ``counts_out`` (when given) receives the *full* per-array
+    racy-element counts so truncation is never silent.
+    """
+    findings: list[RaceFinding] = []
+    per_array: dict[str, int] = {} if counts_out is None else counts_out
+    for array, step, idx, wf, wr, at, tid in log.buckets():
+        order = np.argsort(idx, kind="stable")
+        idx, wf, wr, at, tid = idx[order], wf[order], wr[order], at[order], tid[order]
+        group_starts = np.flatnonzero(np.r_[True, np.diff(idx) != 0])
+        group_ends = np.r_[group_starts[1:], idx.size]
+        for s, e in zip(group_starts, group_ends, strict=True):
+            if e - s < 2:
+                continue
+            g_wf, g_wr, g_at = wf[s:e], wr[s:e], at[s:e]
+            if not g_wr.any():
+                continue  # read-only element
+            wfs = np.unique(g_wf)
+            if wfs.size < 2:
+                continue  # single wavefront: lockstep, no interleaving
+            # A write only conflicts across wavefronts; ignore elements
+            # where every cross-wavefront write is atomic *and* every
+            # conflicting read is atomic.
+            if bool(np.all(g_at)):
+                continue
+            # write/write: two non-atomic writes from different wavefronts
+            wwf = np.unique(g_wf[g_wr])
+            has_ww = wwf.size >= 2
+            # read/write: a write in one wavefront, any access in another
+            # (cross-wavefront reader of a written element, or vice versa)
+            has_rw = bool(np.any(~g_wr)) or has_ww
+            if not (has_ww or has_rw):
+                continue
+            count = per_array.get(array, 0)
+            per_array[array] = count + 1
+            if count >= max_findings_per_array:
+                continue
+            samples = tuple(
+                Access(
+                    array=array,
+                    index=int(idx[s + j]),
+                    kind="w" if wr[s + j] else "r",
+                    thread=int(tid[s + j]),
+                    wavefront=int(wf[s + j]),
+                    step=step,
+                    atomic=bool(at[s + j]),
+                )
+                for j in range(min(4, e - s))
+            )
+            findings.append(
+                RaceFinding(
+                    array=array,
+                    index=int(idx[s]),
+                    step=step,
+                    step_name=log.step_names[step],
+                    num_accesses=int(e - s),
+                    num_wavefronts=int(wfs.size),
+                    has_write_write=has_ww,
+                    expected=array in expected_racy,
+                    samples=samples,
+                )
+            )
+    return findings
+
+
+@dataclass
+class RaceScan:
+    """Outcome of replaying one algorithm under the access log."""
+
+    algorithm: str
+    findings: list[RaceFinding]
+    expected_racy: frozenset[str]
+    total_accesses: int
+    steps: int
+    arrays: list[str]
+    colors: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+    truncated: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def unexpected(self) -> list[RaceFinding]:
+        return [f for f in self.findings if not f.expected]
+
+    @property
+    def expected(self) -> list[RaceFinding]:
+        return [f for f in self.findings if f.expected]
+
+    @property
+    def racy_arrays(self) -> list[str]:
+        return sorted({f.array for f in self.findings})
+
+    @property
+    def ok(self) -> bool:
+        """True when every detected race is a declared-benign one."""
+        return not self.unexpected
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        lines = [
+            f"races:{self.algorithm}: {status} — {self.total_accesses} accesses "
+            f"over {self.steps} kernel steps, {len(self.findings)} racy elements "
+            f"({len(self.unexpected)} unexpected) on arrays "
+            f"{self.racy_arrays or '[]'}"
+        ]
+        lines += [f"  {f.describe()}" for f in self.unexpected[:10]]
+        shown = min(3, len(self.expected))
+        lines += [f"  {f.describe()}" for f in self.expected[:shown]]
+        if len(self.expected) > shown:
+            lines.append(f"  ... and {len(self.expected) - shown} more expected")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# algorithm replays
+# ----------------------------------------------------------------------
+#
+# Each replay runs the *actual* algorithm loop — identical numpy
+# primitives, identical seeds, identical resulting colors — while
+# narrating the kernels' logical access pattern into the log. Thread
+# assignment mirrors the thread-per-vertex mapping: thread i of a
+# launch owns the i-th element of the kernel's active array.
+
+
+def _log_neighbor_scan(
+    log: AccessLog,
+    graph: CSRGraph,
+    verts: np.ndarray,
+    threads: np.ndarray,
+    read_arrays: tuple[str, ...],
+) -> None:
+    """Log each vertex-thread reading its CSR row and neighbor state."""
+    indptr = graph.indptr
+    counts = (indptr[verts + 1] - indptr[verts]).astype(np.int64)
+    log.read("indptr", verts, threads)
+    starts = indptr[verts]
+    flat = _row_entries(starts, counts)
+    owner_threads = np.repeat(threads, counts)
+    log.read("indices", flat, owner_threads)
+    nbrs = graph.indices[flat].astype(np.int64)
+    for name in read_arrays:
+        log.read(name, nbrs, owner_threads)
+
+
+def _row_entries(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat CSR entry positions for rows given by (start, count)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.r_[0, np.cumsum(counts)[:-1]], counts)
+    within = np.arange(total, dtype=np.int64) - offsets
+    return np.repeat(starts, counts) + within
+
+
+def _scan_jones_plassmann(
+    graph: CSRGraph, log: AccessLog, *, seed: int, max_rounds: int
+) -> np.ndarray:
+    from ..coloring.priorities import make_priorities
+
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    priorities = make_priorities(graph, "random", seed=seed)
+    uncolored = np.ones(n, dtype=bool)
+    rounds = 0
+    while uncolored.any() and rounds < max_rounds:
+        active = np.flatnonzero(uncolored)
+        threads = np.arange(active.size, dtype=np.int64)
+        # Kernel A: winner detection — read own + neighbor priorities.
+        _log_neighbor_scan(log, graph, active, threads, ("priorities", "colors"))
+        log.read("priorities", active, threads)
+        pr_hi = np.where(uncolored, priorities, -np.inf)
+        winners = uncolored & (priorities > neighbor_max(graph, pr_hi))
+        winner_ids = np.flatnonzero(winners)
+        log.next_step(f"jp_color_round{rounds}")
+        # Kernel B: winners first-fit against *stable* neighbor colors.
+        wthreads = np.arange(winner_ids.size, dtype=np.int64)
+        _log_neighbor_scan(log, graph, winner_ids, wthreads, ("colors",))
+        colors[winner_ids] = first_fit_colors(graph, colors, winner_ids)
+        log.write("colors", winner_ids, wthreads)
+        uncolored[winner_ids] = False
+        log.next_step(f"jp_find_round{rounds + 1}")
+        rounds += 1
+    return colors
+
+
+def _scan_maxmin(
+    graph: CSRGraph, log: AccessLog, *, seed: int, max_rounds: int
+) -> np.ndarray:
+    from ..coloring.priorities import make_priorities
+
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    priorities = make_priorities(graph, "random", seed=seed)
+    uncolored = np.ones(n, dtype=bool)
+    color = 0
+    rounds = 0
+    while uncolored.any() and rounds < max_rounds:
+        active = np.flatnonzero(uncolored)
+        threads = np.arange(active.size, dtype=np.int64)
+        _log_neighbor_scan(log, graph, active, threads, ("priorities", "colors"))
+        log.read("priorities", active, threads)
+        pr = np.where(uncolored, priorities, np.nan)
+        hi = np.where(uncolored, priorities, -np.inf)
+        lo = np.where(uncolored, priorities, np.inf)
+        maxima = uncolored & (pr > neighbor_max(graph, hi))
+        minima = uncolored & (pr < neighbor_min(graph, lo)) & ~maxima
+        log.next_step(f"maxmin_assign_round{rounds}")
+        max_ids = np.flatnonzero(maxima)
+        min_ids = np.flatnonzero(minima)
+        both = np.concatenate([max_ids, min_ids])
+        bthreads = np.arange(both.size, dtype=np.int64)
+        colors[max_ids] = color
+        colors[min_ids] = color + 1
+        log.write("colors", both, bthreads)
+        uncolored[both] = False
+        color += 2
+        log.next_step(f"maxmin_find_round{rounds + 1}")
+        rounds += 1
+    return colors
+
+
+def _scan_speculative(
+    graph: CSRGraph, log: AccessLog, *, seed: int, max_rounds: int
+) -> np.ndarray:
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    priorities = rng.permutation(n)
+    edge_u, edge_v = graph.edge_array()
+    active = np.arange(n, dtype=np.int64)
+    rounds = 0
+    while active.size and rounds < max_rounds:
+        threads = np.arange(active.size, dtype=np.int64)
+        # Kernel 1 (assign): every active vertex reads its neighbors'
+        # colors and writes its own — adjacent active vertices race on
+        # ``colors`` by design; the detect kernel repairs the damage.
+        _log_neighbor_scan(log, graph, active, threads, ("colors",))
+        log.write("colors", active, threads)
+        colors[active] = first_fit_colors(graph, colors, active)
+        log.next_step(f"spec_detect_round{rounds}")
+        # Kernel 2 (detect): one thread per edge reads both endpoint
+        # colors; the lower-priority endpoint of a monochromatic edge is
+        # uncolored. Loser writes race with other edges' reads of the
+        # same vertex — still confined to ``colors``.
+        ethreads = np.arange(edge_u.size, dtype=np.int64)
+        log.read("colors", edge_u, ethreads)
+        log.read("colors", edge_v, ethreads)
+        log.read("priorities", edge_u, ethreads)
+        log.read("priorities", edge_v, ethreads)
+        same = (colors[edge_u] == colors[edge_v]) & (colors[edge_u] != UNCOLORED)
+        cu, cv = edge_u[same], edge_v[same]
+        loser_per_edge = np.where(priorities[cu] < priorities[cv], cu, cv)
+        log.write("colors", loser_per_edge, ethreads[same])
+        losers = np.unique(loser_per_edge)
+        colors[losers] = UNCOLORED
+        log.next_step(f"spec_assign_round{rounds + 1}")
+        active = losers
+        rounds += 1
+    return colors
+
+
+#: algorithm → (replay function, arrays where races are *by design*).
+RACE_SCANNERS = {
+    "jp": (_scan_jones_plassmann, frozenset()),
+    "maxmin": (_scan_maxmin, frozenset()),
+    "speculative": (_scan_speculative, frozenset({"colors"})),
+}
+
+
+def scan_algorithm_races(
+    graph: CSRGraph,
+    algorithm: str = "speculative",
+    *,
+    seed: int = 0,
+    wavefront_size: int = 64,
+    max_rounds: int = 10_000,
+    max_findings_per_array: int = 50,
+) -> RaceScan:
+    """Replay ``algorithm`` on ``graph`` under the access log and classify.
+
+    Returns a :class:`RaceScan` whose ``ok`` property is the proof
+    obligation: every detected race must be on one of the algorithm's
+    declared expected-racy arrays (none at all for the independent-set
+    algorithms; only ``colors`` for the speculative kernel).
+    """
+    try:
+        replay, benign = RACE_SCANNERS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"no race scanner for {algorithm!r}; known: {sorted(RACE_SCANNERS)}"
+        ) from None
+    log = AccessLog(wavefront_size=wavefront_size)
+    colors = replay(graph, log, seed=seed, max_rounds=max_rounds)
+    per_array: dict[str, int] = {}
+    findings = detect_races(
+        log,
+        expected_racy=benign,
+        max_findings_per_array=max_findings_per_array,
+        counts_out=per_array,
+    )
+    truncated = {
+        a: c - max_findings_per_array
+        for a, c in per_array.items()
+        if c > max_findings_per_array
+    }
+    return RaceScan(
+        algorithm=algorithm,
+        findings=findings,
+        expected_racy=benign,
+        total_accesses=log.total_accesses,
+        steps=log.step + 1,
+        arrays=log.arrays,
+        colors=colors,
+        truncated=truncated,
+    )

@@ -11,6 +11,10 @@ Subcommands::
     repro-color sweep rmat --parameter chunk_size 256 512 1024
     repro-color trace rmat -o rmat.trace.json  # traced run -> Chrome trace
     repro-color profile rmat                   # per-phase metrics table
+    repro-color check validate rmat            # invariant validators
+    repro-color check races --algorithm all    # simulated-race detector
+    repro-color check lint src                 # repo-specific lint pass
+    repro-color check golden --write           # golden digests / drift
 
 Any suite dataset name or a graph file path is accepted wherever a graph
 is expected.
@@ -135,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="export a trace of the run (format from extension: "
         ".jsonl → JSONL, .csv → CSV, else Chrome trace JSON)",
     )
+    p_color.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the full repro.check invariant suite post-run "
+        "(CSR + coloring + scheduler/trace validators)",
+    )
 
     p_cmp = sub.add_parser("compare", help="all GPU algorithms side by side")
     p_cmp.add_argument("graph", help="suite dataset name or graph file")
@@ -229,6 +239,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--scale", choices=SCALES, default="small")
     p_sweep.add_argument("--device", default="hd7950")
     p_sweep.add_argument("--seed", type=int, default=0)
+
+    p_check = sub.add_parser(
+        "check", help="correctness tooling: validators, races, lint, golden"
+    )
+    check_sub = p_check.add_subparsers(dest="check_command", required=True)
+
+    c_val = check_sub.add_parser(
+        "validate", help="run invariant validators over coloring runs"
+    )
+    c_val.add_argument("graph", nargs="?", default="rmat")
+    c_val.add_argument(
+        "--algorithm",
+        "-a",
+        default="all",
+        choices=["all"] + sorted(GPU_ALGORITHMS),
+        help="'all' validates every GPU algorithm",
+    )
+    c_val.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    c_val.add_argument("--schedule", choices=SCHEDULES, default="stealing")
+    c_val.add_argument("--scale", choices=SCALES, default="small")
+    c_val.add_argument("--device", default="hd7950")
+    c_val.add_argument("--seed", type=int, default=0)
+
+    c_races = check_sub.add_parser(
+        "races", help="simulated-race detector over algorithm replays"
+    )
+    c_races.add_argument("graph", nargs="?", default="rmat")
+    c_races.add_argument(
+        "--algorithm",
+        "-a",
+        default="all",
+        help="race-scannable algorithm or 'all' (default)",
+    )
+    c_races.add_argument("--scale", choices=SCALES, default="small")
+    c_races.add_argument("--seed", type=int, default=0)
+    c_races.add_argument(
+        "--wavefront-size",
+        type=int,
+        default=64,
+        help="lanes per wavefront for access tagging",
+    )
+    c_races.add_argument(
+        "--details", action="store_true", help="print every finding"
+    )
+
+    c_lint = check_sub.add_parser("lint", help="repo-specific AST lint pass")
+    c_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    c_lint.add_argument(
+        "--explain", action="store_true", help="print the rule catalogue and exit"
+    )
+
+    c_gold = check_sub.add_parser(
+        "golden", help="golden run digests and drift detection"
+    )
+    c_gold.add_argument(
+        "--baseline",
+        default="tests/data/golden_digests.json",
+        help="baseline digest file to compare against (or write)",
+    )
+    c_gold.add_argument(
+        "--write", action="store_true", help="(re)write the baseline instead of checking"
+    )
+    c_gold.add_argument("--scale", choices=SCALES, default="tiny")
+    c_gold.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -279,13 +355,17 @@ def _cmd_color(args: argparse.Namespace) -> int:
         graph = graph.permute(perm)
     print(format_kv(summarize(graph, name).as_row(), title="input"))
     print()
+    ring = None
+    ctx = None
     if args.algorithm in CPU_ALGORITHMS:
         if args.trace:
             print("note: --trace applies to GPU runs only; ignoring")
         result = run_cpu_coloring(graph, args.algorithm)
     else:
         ctx = _make_context(args)
-        ring = ctx.enable_tracing() if args.trace else None
+        # --validate wants the scheduler/trace validators too, so it
+        # turns tracing on even without --trace (cycle-identical).
+        ring = ctx.enable_tracing() if (args.trace or args.validate) else None
         executor = ctx.executor(
             mapping=args.mapping,
             schedule=args.schedule,
@@ -300,7 +380,7 @@ def _cmd_color(args: argparse.Namespace) -> int:
         result = run_gpu_coloring(
             graph, args.algorithm, executor, seed=args.seed, context=ctx, **algo_kwargs
         )
-        if ring is not None:
+        if ring is not None and args.trace:
             out = Path(args.trace)
             fmt = _export_trace(ring, out)
             print(
@@ -308,6 +388,19 @@ def _cmd_color(args: argparse.Namespace) -> int:
             )
             print()
     print(format_kv(result.as_row(), title="result (validated)"))
+    if args.validate:
+        from .check.validators import validate_run
+
+        report = validate_run(
+            graph,
+            result,
+            events=ring,
+            device=ctx.device if ctx is not None else None,
+        )
+        print()
+        print(report.summary())
+        if not report.ok:
+            return 1
     if args.iterations and result.iterations:
         print()
         rows = [
@@ -528,6 +621,127 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_validate(args: argparse.Namespace) -> int:
+    from .check.validators import validate_run
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    algorithms = sorted(GPU_ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    rows = []
+    failed = 0
+    for algo in algorithms:
+        ctx = _make_context(args)
+        ring = ctx.enable_tracing()
+        executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
+        result = run_gpu_coloring(graph, algo, executor, seed=args.seed, context=ctx)
+        report = validate_run(graph, result, events=ring, device=ctx.device)
+        rows.append(
+            {
+                "algorithm": algo,
+                "colors": result.num_colors,
+                "checks": report.checks_run,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "status": "ok" if report.ok else "FAILED",
+            }
+        )
+        if not report.ok:
+            failed += 1
+            print(report.summary())
+            print()
+    print(
+        format_table(
+            rows,
+            title=f"{name}: invariant validation "
+            f"({args.mapping}/{args.schedule}, seed {args.seed})",
+        )
+    )
+    return 1 if failed else 0
+
+
+def _cmd_check_races(args: argparse.Namespace) -> int:
+    from .check.races import RACE_SCANNERS, scan_algorithm_races
+
+    graph, name = _resolve_graph(args.graph, args.scale)
+    if args.algorithm == "all":
+        algorithms = sorted(RACE_SCANNERS)
+    elif args.algorithm in RACE_SCANNERS:
+        algorithms = [args.algorithm]
+    else:
+        raise SystemExit(
+            f"error: no race scanner for {args.algorithm!r}; "
+            f"known: {', '.join(sorted(RACE_SCANNERS))} or 'all'"
+        )
+    failed = 0
+    for algo in algorithms:
+        scan = scan_algorithm_races(
+            graph,
+            algo,
+            seed=args.seed,
+            wavefront_size=args.wavefront_size,
+        )
+        print(f"{name}: {scan.summary()}")
+        if args.details:
+            for f in scan.findings:
+                print(f"    {f.describe()}")
+        if scan.truncated:
+            print(f"    (per-array finding cap hit; omitted: {scan.truncated})")
+        if not scan.ok:
+            failed += 1
+    return 1 if failed else 0
+
+
+def _cmd_check_lint(args: argparse.Namespace) -> int:
+    from .check.lint import RULES, lint_paths
+
+    if args.explain:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}: {desc}")
+        return 0
+    violations = lint_paths(tuple(args.paths))
+    for v in violations:
+        print(v)
+    n_files = sum(
+        len(list(Path(p).rglob("*.py"))) if Path(p).is_dir() else 1
+        for p in args.paths
+    )
+    status = "clean" if not violations else f"{len(violations)} violations"
+    print(f"repro lint: {n_files} files, {status}")
+    return 1 if violations else 0
+
+
+def _cmd_check_golden(args: argparse.Namespace) -> int:
+    from .check.determinism import (
+        check_drift,
+        golden_digests,
+        load_golden,
+        save_golden,
+    )
+
+    current = golden_digests(scale=args.scale, seed=args.seed)
+    baseline_path = Path(args.baseline)
+    if args.write:
+        save_golden(current, baseline_path)
+        print(f"wrote {len(current)} golden digests -> {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        raise SystemExit(
+            f"error: no baseline at {baseline_path}; create one with --write"
+        )
+    report = check_drift(load_golden(baseline_path), current)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    handlers = {
+        "validate": _cmd_check_validate,
+        "races": _cmd_check_races,
+        "lint": _cmd_check_lint,
+        "golden": _cmd_check_golden,
+    }
+    return handlers[args.check_command](args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -541,6 +755,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -249,10 +249,11 @@ class GPUExecutor:
         if deg.min() < 0:
             raise ValueError("degrees must be non-negative")
         plan = self.plan_for(deg)
-        if self.config.schedule == "grid":
-            timing = self._grid(plan, name)
-        else:
-            timing = self._persistent(plan, name)
+        timing = (
+            self._grid(plan, name)
+            if self.config.schedule == "grid"
+            else self._persistent(plan, name)
+        )
         self._observe(timing, traffic_elements=plan.traffic_elements, work_items=deg.size)
         return timing
 

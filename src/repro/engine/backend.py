@@ -25,6 +25,7 @@ differs.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -163,7 +164,7 @@ class NumpyBackend:
     def _ranges(self, total: int) -> list[tuple[int, int]]:
         return [(0, total)]
 
-    def _run(self, thunks) -> None:
+    def _run(self, thunks: list[Callable[[], None]]) -> None:
         for thunk in thunks:
             thunk()
 
@@ -253,7 +254,7 @@ class ChunkParallelBackend(NumpyBackend):
         starts = range(0, total, per)
         return [(a, min(a + per, total)) for a in starts]
 
-    def _run(self, thunks) -> None:
+    def _run(self, thunks: list[Callable[[], None]]) -> None:
         if len(thunks) <= 1:
             for thunk in thunks:
                 thunk()

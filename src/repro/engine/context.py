@@ -95,10 +95,11 @@ class RunContext:
             self.backend = make_backend(self.backend)
         if self.trace is not None:
             legacy = LegacyDictListSink(self.trace)
-            if self.tracer is None:
-                self.tracer = Tracer(legacy)
-            else:
-                self.tracer = Tracer(TeeSink((self.tracer.sink, legacy)))
+            self.tracer = (
+                Tracer(legacy)
+                if self.tracer is None
+                else Tracer(TeeSink((self.tracer.sink, legacy)))
+            )
 
     # ------------------------------------------------------------------
 

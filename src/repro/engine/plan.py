@@ -22,6 +22,7 @@ import hashlib
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,10 @@ from ..gpusim.wavefront import (
     wavefront_costs,
 )
 from ..loadbalance.partition import chunk_costs, chunk_ranges, partition_by_threshold
+
+if TYPE_CHECKING:
+    from ..coloring.kernels import CostModel, ExecutionConfig
+    from ..gpusim.device import DeviceConfig
 
 __all__ = [
     "ExecutionPlan",
@@ -83,7 +88,12 @@ class ExecutionPlan:
     kernel_suffix: str = ""
 
 
-def build_plan(degrees: np.ndarray, config, costs, device) -> ExecutionPlan:
+def build_plan(
+    degrees: np.ndarray,
+    config: "ExecutionConfig",
+    costs: "CostModel",
+    device: "DeviceConfig",
+) -> ExecutionPlan:
     """Derive the work distribution for ``degrees`` under ``config``.
 
     ``config`` is an :class:`~repro.coloring.kernels.ExecutionConfig`,
@@ -108,7 +118,13 @@ def build_plan(degrees: np.ndarray, config, costs, device) -> ExecutionPlan:
     )
 
 
-def _grid_plan(deg, config, costs, device, traffic) -> ExecutionPlan:
+def _grid_plan(
+    deg: np.ndarray,
+    config: "ExecutionConfig",
+    costs: "CostModel",
+    device: "DeviceConfig",
+    traffic: float,
+) -> ExecutionPlan:
     if config.mapping == "thread":
         return ExecutionPlan(
             degrees=deg,
@@ -148,7 +164,12 @@ def _grid_plan(deg, config, costs, device, traffic) -> ExecutionPlan:
     )
 
 
-def _persistent_chunks(deg, config, costs, device) -> tuple[np.ndarray, float]:
+def _persistent_chunks(
+    deg: np.ndarray,
+    config: "ExecutionConfig",
+    costs: "CostModel",
+    device: "DeviceConfig",
+) -> tuple[np.ndarray, float]:
     """Per-chunk execution cycles under the configured mapping.
 
     A persistent workgroup executes a chunk in lockstep *rounds* of

@@ -92,7 +92,9 @@ class Timeline:
         """All ``(start, end, tag)`` intervals of one pipe, time order."""
         rows = [
             (s, e, t)
-            for p, s, e, t in zip(self._pipes, self._starts, self._ends, self._tags)
+            for p, s, e, t in zip(
+                self._pipes, self._starts, self._ends, self._tags, strict=True
+            )
             if p == pipe
         ]
         rows.sort()

@@ -164,9 +164,8 @@ class CSRGraph:
             raise ValueError("indptr must start at 0 and end at len(indices)")
         if np.any(np.diff(indptr) < 0):
             raise ValueError("indptr must be non-decreasing")
-        if indices.size:
-            if indices.min() < 0 or indices.max() >= n:
-                raise ValueError("neighbor index out of range")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("neighbor index out of range")
         starts = indptr[:-1]
         ends = indptr[1:]
         # Sorted + unique within each list: indices must strictly increase
@@ -252,7 +251,7 @@ class CSRGraph:
             np.arange(self._n, dtype=np.int64), np.diff(self._indptr)
         )
         mask = owner < self._indices
-        for u, v in zip(owner[mask], self._indices[mask]):
+        for u, v in zip(owner[mask], self._indices[mask], strict=True):
             yield int(u), int(v)
 
     def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
@@ -320,7 +319,7 @@ class CSRGraph:
         g = nx.Graph()
         g.add_nodes_from(range(self._n))
         u, v = self.edge_array()
-        g.add_edges_from(zip(u.tolist(), v.tolist()))
+        g.add_edges_from(zip(u.tolist(), v.tolist(), strict=True))
         return g
 
     # ------------------------------------------------------------------

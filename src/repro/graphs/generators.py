@@ -185,14 +185,11 @@ def powerlaw_cluster(
         targets: set[int] = set()
         last = -1
         while len(targets) < attach:
-            if (
-                last >= 0
-                and adj[last]
-                and rng.random() < triangle_p
-            ):
-                cand = int(adj[last][rng.integers(0, len(adj[last]))])
-            else:
-                cand = int(pool[rng.integers(0, len(pool))])
+            cand = (
+                int(adj[last][rng.integers(0, len(adj[last]))])
+                if last >= 0 and adj[last] and rng.random() < triangle_p
+                else int(pool[rng.integers(0, len(pool))])
+            )
             if cand != newv and cand not in targets:
                 targets.add(cand)
                 last = cand

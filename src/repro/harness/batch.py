@@ -48,6 +48,7 @@ def run_batch(
     device: DeviceConfig = RADEON_HD_7950,
     scale: str = "small",
     context: RunContext | None = None,
+    deep_validate: bool = False,
 ) -> list[dict[str, object]]:
     """Run every job, validating each coloring; returns one row per job.
 
@@ -56,6 +57,10 @@ def run_batch(
     up across cells that repeat a graph × configuration, and
     ``context.counters`` aggregates the whole matrix while each row
     still reports its own executor's window.
+
+    ``deep_validate`` runs the full :mod:`repro.check` invariant suite
+    on every cell (see :func:`~repro.harness.runner.run_gpu_coloring`);
+    the first violating cell raises, naming the job.
     """
     ctx = context if context is not None else RunContext(device=device)
     rows: list[dict[str, object]] = []
@@ -75,7 +80,13 @@ def run_batch(
             else nullcontext()
         )
         with span:
-            result = run_gpu_coloring(graph, job.algorithm, executor, seed=job.seed)
+            result = run_gpu_coloring(
+                graph,
+                job.algorithm,
+                executor,
+                seed=job.seed,
+                deep_validate=deep_validate,
+            )
         rows.append(
             {
                 "job": job.name,

@@ -80,6 +80,20 @@ def baseline_executor(
     return make_executor(device, mapping="thread", schedule="grid", context=context)
 
 
+def _trace_events(ctx: RunContext | None):
+    """The retained ring-buffer events of a context's tracer, if any."""
+    if ctx is None or ctx.tracer is None:
+        return None
+    from ..obs.sink import RingBufferSink, TeeSink
+
+    sink = ctx.tracer.sink
+    candidates = sink.sinks if isinstance(sink, TeeSink) else (sink,)
+    for cand in candidates:
+        if isinstance(cand, RingBufferSink):
+            return cand.events
+    return None
+
+
 def run_gpu_coloring(
     graph: CSRGraph,
     algorithm: str = "maxmin",
@@ -87,6 +101,7 @@ def run_gpu_coloring(
     *,
     seed: int | None = None,
     validate: bool = True,
+    deep_validate: bool = False,
     context: RunContext | None = None,
     **kwargs,
 ) -> ColoringResult:
@@ -97,6 +112,14 @@ def run_gpu_coloring(
     explicit ``seed`` the context's base seed applies — and since a
     fresh context defaults to seed 0, calls that pass neither stay as
     reproducible as they always were.
+
+    ``deep_validate`` additionally runs the full :mod:`repro.check`
+    invariant suite post-run — CSR structure, coloring invariants,
+    result-history consistency, and (when the context traces into a
+    ring buffer) the scheduler/trace validators — raising
+    :class:`~repro.check.validators.CheckFailedError` on any violation.
+    Validators only *read* the finished run, so a deep-validated run is
+    cycle-identical to a plain one.
     """
     try:
         fn = GPU_ALGORITHMS[algorithm]
@@ -124,11 +147,22 @@ def run_gpu_coloring(
         result = fn(graph, executor, seed=seed, context=context, **kwargs)
         if validate:
             result.validate(graph)
+    if deep_validate:
+        from ..check.validators import validate_run
+
+        device = ctx.device if ctx is not None else None
+        validate_run(
+            graph, result, events=_trace_events(ctx), device=device
+        ).raise_on_error()
     return result
 
 
 def run_cpu_coloring(
-    graph: CSRGraph, algorithm: str = "greedy", *, validate: bool = True
+    graph: CSRGraph,
+    algorithm: str = "greedy",
+    *,
+    validate: bool = True,
+    deep_validate: bool = False,
 ) -> ColoringResult:
     """Run a sequential reference algorithm and validate."""
     try:
@@ -140,4 +174,8 @@ def run_cpu_coloring(
     result = fn(graph)
     if validate:
         result.validate(graph)
+    if deep_validate:
+        from ..check.validators import validate_run
+
+        validate_run(graph, result).raise_on_error()
     return result

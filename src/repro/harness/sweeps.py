@@ -24,7 +24,7 @@ def grid_points(grid: Mapping[str, Sequence]) -> list[dict[str, object]]:
         return [{}]
     keys = list(grid.keys())
     return [
-        dict(zip(keys, combo))
+        dict(zip(keys, combo, strict=True))
         for combo in itertools.product(*(list(grid[k]) for k in keys))
     ]
 

@@ -19,8 +19,9 @@ emit nothing when tracing is off.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any
 
 from .events import CYCLES, WALL, Span, TraceEvent
 from .sink import TraceSink

@@ -1,0 +1,96 @@
+"""End-to-end tests for the ``repro check`` CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestCheckValidate:
+    def test_single_algorithm(self, capsys):
+        rc = main(["check", "validate", "rmat", "--scale", "tiny", "-a", "jp"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jp" in out and "ok" in out
+
+    def test_all_algorithms(self, capsys):
+        rc = main(["check", "validate", "rmat", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("maxmin", "jp", "speculative", "partitioned"):
+            assert name in out
+
+
+class TestCheckRaces:
+    def test_all_scanners(self, capsys):
+        rc = main(["check", "races", "rmat", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "races:jp" in out and "races:speculative" in out
+
+    def test_details_flag(self, capsys):
+        rc = main(
+            ["check", "races", "rmat", "--scale", "tiny", "-a", "speculative",
+             "--details"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "expected" in out
+
+
+class TestCheckLint:
+    def test_clean_tree(self, capsys):
+        rc = main(["check", "lint", "src/repro/check"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        rc = main(["check", "lint", "--explain"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RC001" in out and "RC004" in out
+
+    def test_violations_fail(self, tmp_path, capsys):
+        bad = tmp_path / "coloring" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nt = time.time()\n")
+        rc = main(["check", "lint", str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RC002" in out
+
+
+class TestCheckGolden:
+    def test_write_then_check(self, tmp_path, capsys):
+        baseline = tmp_path / "golden.json"
+        rc = main(["check", "golden", "--write", "--baseline", str(baseline)])
+        assert rc == 0 and baseline.exists()
+        capsys.readouterr()
+        rc = main(["check", "golden", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok" in out and "drifted" in out
+
+    def test_drift_detected(self, tmp_path, capsys):
+        baseline = tmp_path / "golden.json"
+        assert main(["check", "golden", "--write", "--baseline", str(baseline)]) == 0
+        payload = json.loads(baseline.read_text())
+        key = next(iter(payload))
+        payload[key]["num_colors"] += 1
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        rc = main(["check", "golden", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DRIFT" in out
+
+
+class TestColorValidateFlag:
+    def test_color_validate_passes(self, capsys):
+        rc = main(
+            ["color", "rmat", "--scale", "tiny", "-a", "speculative", "--validate"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run:speculative: ok" in out

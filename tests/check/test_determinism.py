@@ -1,0 +1,98 @@
+"""Unit tests for the determinism harness (repro.check.determinism)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.check.determinism import (
+    check_drift,
+    compare_runs,
+    digest_result,
+    golden_digests,
+    load_golden,
+    save_golden,
+)
+from repro.engine.context import RunContext
+from repro.harness.runner import run_gpu_coloring
+
+SMALL_MATRIX = (("rmat", "jp", "grid"), ("rmat", "speculative", "stealing"))
+
+
+def _run(seed: int = 0):
+    ctx = RunContext(seed=seed)
+    executor = ctx.executor(schedule="stealing")
+    from repro.harness.suite import build
+
+    graph = build("rmat", "tiny")
+    result = run_gpu_coloring(graph, "speculative", executor, seed=seed, context=ctx)
+    return digest_result(result, key="t", counters=executor.counters)
+
+
+class TestDigest:
+    def test_identical_runs_identical_digests(self):
+        assert _run(0) == _run(0)
+        assert _run(0).digest == _run(0).digest
+
+    def test_seed_changes_digest(self):
+        assert _run(0).digest != _run(1).digest
+
+    def test_compare_runs_names_changed_fields(self):
+        a = _run(0)
+        b = replace(a, num_colors=a.num_colors + 1, total_cycles=a.total_cycles + 1.0)
+        diffs = compare_runs(a, b)
+        assert any("num_colors" in d for d in diffs)
+        assert any("total_cycles" in d for d in diffs)
+        assert compare_runs(a, a) == []
+
+    def test_colors_sha_diff_is_elided(self):
+        a = _run(0)
+        b = replace(a, colors_sha="0" * 64)
+        (diff,) = [d for d in compare_runs(a, b) if "colors_sha" in d]
+        assert "…" in diff  # hashes are truncated for humans
+
+
+class TestGoldenMatrix:
+    def test_matrix_is_deterministic(self):
+        a = golden_digests(SMALL_MATRIX, scale="tiny")
+        b = golden_digests(SMALL_MATRIX, scale="tiny")
+        assert [d.digest for d in a] == [d.digest for d in b]
+        assert len(a) == len(SMALL_MATRIX)
+
+    def test_stealing_cells_record_steal_counters(self):
+        digests = {d.key: d for d in golden_digests(SMALL_MATRIX, scale="tiny")}
+        stealing = [d for k, d in digests.items() if "stealing" in k]
+        assert stealing, "matrix must include a stealing cell"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        digests = golden_digests(SMALL_MATRIX, scale="tiny")
+        path = tmp_path / "golden.json"
+        save_golden(digests, path)
+        loaded = load_golden(path)
+        assert sorted(loaded, key=lambda d: d.key) == sorted(
+            digests, key=lambda d: d.key
+        )
+
+
+class TestDrift:
+    def test_no_drift_on_identical(self):
+        digests = golden_digests(SMALL_MATRIX, scale="tiny")
+        report = check_drift(digests, golden_digests(SMALL_MATRIX, scale="tiny"))
+        assert report.ok and report.matched == len(digests)
+        assert "ok" in report.summary()
+
+    def test_drift_localized_to_field(self):
+        base = golden_digests(SMALL_MATRIX, scale="tiny")
+        current = [replace(base[0], total_cycles=base[0].total_cycles + 5.0)] + base[1:]
+        report = check_drift(base, current)
+        assert not report.ok
+        assert list(report.drifted) == [base[0].key]
+        assert any("total_cycles" in d for d in report.drifted[base[0].key])
+
+    def test_missing_and_extra_cells(self):
+        base = golden_digests(SMALL_MATRIX, scale="tiny")
+        report = check_drift(base, base[:1])
+        assert report.missing == [base[1].key]
+        assert not report.ok
+        report = check_drift(base[:1], base)
+        assert report.extra == [base[1].key]
+        assert report.ok  # new cells are informational, not drift

@@ -1,0 +1,131 @@
+"""Unit tests for the repo-specific AST lint pass (repro.check.lint)."""
+
+from __future__ import annotations
+
+from repro.check.lint import RULES, lint_file, lint_paths, lint_source
+
+SIM_PATH = "src/repro/gpusim/fake.py"
+COLORING_PATH = "src/repro/coloring/fake.py"
+HARNESS_PATH = "src/repro/harness/fake.py"
+OBS_PATH = "src/repro/obs/fake.py"
+
+
+def _rules(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+class TestRC001Random:
+    def test_legacy_global_rng_flagged(self):
+        assert _rules(lint_source("import numpy as np\nx = np.random.rand(3)\n")) == {
+            "RC001"
+        }
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert _rules(lint_source(src)) == {"RC001"}
+
+    def test_seeded_default_rng_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src) == []
+
+    def test_seeded_bit_generators_clean(self):
+        src = "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n"
+        assert lint_source(src) == []
+
+    def test_full_numpy_spelling_flagged(self):
+        assert _rules(lint_source("import numpy\nnumpy.random.shuffle(x)\n")) == {
+            "RC001"
+        }
+
+
+class TestRC002WallClock:
+    def test_time_call_in_sim_domain_flagged(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert _rules(lint_source(src, SIM_PATH)) == {"RC002"}
+        assert _rules(lint_source(src, COLORING_PATH)) == {"RC002"}
+
+    def test_sleep_in_sim_domain_flagged(self):
+        assert _rules(lint_source("import time\ntime.sleep(1)\n", SIM_PATH)) == {
+            "RC002"
+        }
+
+    def test_datetime_now_in_sim_domain_flagged(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert _rules(lint_source(src, COLORING_PATH)) == {"RC002"}
+
+    def test_wall_clock_fine_outside_sim_domain(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, HARNESS_PATH) == []
+        assert lint_source(src, OBS_PATH) == []
+
+
+class TestRC003FrozenCSR:
+    def test_subscript_store_flagged(self):
+        src = "def kernel(g):\n    g.indptr[0] = 1\n"
+        assert _rules(lint_source(src, SIM_PATH)) == {"RC003"}
+
+    def test_augmented_store_flagged(self):
+        src = "def kernel(g):\n    g.indices[3] += 1\n"
+        assert _rules(lint_source(src, COLORING_PATH)) == {"RC003"}
+
+    def test_attribute_rebinding_flagged(self):
+        src = "def kernel(g, arr):\n    g.indices = arr\n"
+        assert _rules(lint_source(src, SIM_PATH)) == {"RC003"}
+
+    def test_setflags_unfreeze_flagged(self):
+        src = "def kernel(g):\n    g.indptr.setflags(write=True)\n"
+        assert _rules(lint_source(src, SIM_PATH)) == {"RC003"}
+
+    def test_mutation_fine_outside_kernel_code(self):
+        src = "def builder(g):\n    g.indptr[0] = 1\n"
+        assert lint_source(src, HARNESS_PATH) == []
+
+    def test_local_array_mutation_clean(self):
+        src = "def kernel(colors, v):\n    colors[v] = 0\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestRC004BoundedTraces:
+    def test_trace_append_flagged_outside_obs(self):
+        src = "def f(self, ev):\n    self.trace.append(ev)\n"
+        assert _rules(lint_source(src, SIM_PATH)) == {"RC004"}
+        assert _rules(lint_source(src, HARNESS_PATH)) == {"RC004"}
+
+    def test_trace_append_allowed_inside_obs(self):
+        src = "def f(self, ev):\n    self.trace.append(ev)\n"
+        assert lint_source(src, OBS_PATH) == []
+
+    def test_other_appends_clean(self):
+        src = "def f(self, ev):\n    self.rows.append(ev)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestMechanics:
+    def test_inline_suppression(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # check: allow(RC001)\n"
+        assert lint_source(src) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # check: allow(RC002)\n"
+        assert _rules(lint_source(src)) == {"RC001"}
+
+    def test_syntax_error_reported_not_raised(self):
+        (v,) = lint_source("def broken(:\n")
+        assert v.rule == "RC000"
+
+    def test_violation_str_is_location_prefixed(self):
+        (v,) = lint_source("import numpy as np\nx = np.random.rand(3)\n", "m.py")
+        assert str(v).startswith("m.py:2:")
+
+    def test_every_rule_documented(self):
+        assert set(RULES) == {"RC001", "RC002", "RC003", "RC004"}
+
+    def test_lint_file_and_paths(self, tmp_path):
+        bad = tmp_path / "gpusim" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nt = time.time()\n")
+        assert _rules(lint_file(bad)) == {"RC002"}
+        assert _rules(lint_paths([str(tmp_path)])) == {"RC002"}
+
+    def test_repo_source_tree_is_clean(self):
+        assert lint_paths(("src",)) == []

@@ -1,0 +1,71 @@
+"""Property tests: the validators accept every real coloring and reject
+deliberately broken ones, on arbitrary random graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.check.validators import validate_coloring, validate_csr
+from repro.coloring.sequential import greedy_first_fit
+from repro.graphs.csr import CSRGraph
+from repro.harness.runner import GPU_ALGORITHMS, run_gpu_coloring
+
+
+@st.composite
+def random_graphs(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(1, max_vertices))
+    m = draw(st.integers(0, max_edges))
+    u = draw(arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    v = draw(arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    return CSRGraph.from_edges(u, v, num_vertices=n)
+
+
+class TestEveryAlgorithmValidates:
+    @pytest.mark.parametrize("algorithm", sorted(GPU_ALGORITHMS))
+    @given(g=random_graphs(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_gpu_algorithms_pass_validator(self, algorithm, g, seed):
+        # validate=False: the check-module validator is the thing under test
+        result = run_gpu_coloring(g, algorithm, None, seed=seed, validate=False)
+        report = validate_coloring(g, result.colors)
+        assert report.ok, report.summary()
+
+
+class TestValidatorRejectsBrokenColorings:
+    @given(g=random_graphs(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_monochromatic_edge_always_caught(self, g, seed):
+        assume(g.num_edges > 0)
+        colors = greedy_first_fit(g, order="natural").colors.copy()
+        u, v = g.edge_array()
+        rng = np.random.default_rng(seed)
+        pick = int(rng.integers(0, u.size))
+        colors[int(u[pick])] = colors[int(v[pick])]  # force one conflict
+        report = validate_coloring(g, colors)
+        assert not report.ok
+        assert any(i.rule == "coloring.conflict" for i in report.errors)
+
+    @given(g=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_missing_vertex_always_caught(self, g):
+        colors = greedy_first_fit(g, order="natural").colors.copy()
+        colors[0] = -1  # UNCOLORED sentinel
+        report = validate_coloring(g, colors)
+        assert not report.ok
+        assert validate_coloring(g, colors, allow_uncolored=True).ok
+
+
+class TestCSRValidatorAgreesWithConstructor:
+    @given(g=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_constructed_graphs_always_valid(self, g):
+        assert validate_csr(g).ok
+
+    @given(g=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_raw_arrays_of_valid_graph_pass(self, g):
+        assert validate_csr((g.indptr, g.indices)).ok

@@ -1,0 +1,157 @@
+"""Unit tests for the simulated-race detector (repro.check.races)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.races import (
+    RACE_SCANNERS,
+    AccessLog,
+    detect_races,
+    scan_algorithm_races,
+)
+from repro.check.validators import validate_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.speculative import speculative_coloring
+from repro.graphs import generators as gen
+
+
+class TestAccessLog:
+    def test_steps_advance(self):
+        log = AccessLog()
+        assert log.step == 0
+        assert log.next_step("assign") == 1
+        assert log.step_names == ["step0", "assign"]
+
+    def test_vectorized_record(self):
+        log = AccessLog()
+        log.write("a", np.array([1, 2, 3]), np.array([0, 1, 2]))
+        log.read("a", np.array([1]), np.array([5]))
+        assert log.total_accesses == 4
+        assert log.arrays == ["a"]
+
+    def test_scalar_thread_broadcast(self):
+        log = AccessLog()
+        log.read("a", np.array([1, 2, 3]), np.array([7]))
+        ((_, _, idx, _, _, _, tid),) = list(log.buckets())
+        assert idx.size == 3 and np.all(tid == 7)
+
+    def test_misaligned_shapes_rejected(self):
+        log = AccessLog()
+        with pytest.raises(ValueError):
+            log.write("a", np.array([1, 2]), np.array([0, 1, 2]))
+
+    def test_bad_wavefront_size_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLog(wavefront_size=0)
+
+
+class TestDetectRaces:
+    def test_cross_wavefront_write_write(self):
+        log = AccessLog(wavefront_size=2)
+        log.write("colors", np.array([5]), np.array([0]))  # wavefront 0
+        log.write("colors", np.array([5]), np.array([2]))  # wavefront 1
+        (finding,) = detect_races(log)
+        assert finding.array == "colors" and finding.index == 5
+        assert finding.has_write_write and finding.num_wavefronts == 2
+
+    def test_read_write_conflict(self):
+        log = AccessLog(wavefront_size=2)
+        log.write("colors", np.array([5]), np.array([0]))
+        log.read("colors", np.array([5]), np.array([2]))
+        (finding,) = detect_races(log)
+        assert not finding.has_write_write
+
+    def test_same_wavefront_is_lockstep(self):
+        log = AccessLog(wavefront_size=64)
+        log.write("colors", np.array([5]), np.array([0]))
+        log.write("colors", np.array([5]), np.array([1]))
+        assert detect_races(log) == []
+
+    def test_kernel_launch_is_a_sync_edge(self):
+        log = AccessLog(wavefront_size=2)
+        log.write("colors", np.array([5]), np.array([0]))
+        log.next_step("second kernel")
+        log.write("colors", np.array([5]), np.array([2]))
+        assert detect_races(log) == []
+
+    def test_all_atomic_contention_is_ordered(self):
+        log = AccessLog(wavefront_size=2)
+        log.write("ctr", np.array([0]), np.array([0]), atomic=True)
+        log.write("ctr", np.array([0]), np.array([2]), atomic=True)
+        assert detect_races(log) == []
+
+    def test_read_only_element_never_races(self):
+        log = AccessLog(wavefront_size=2)
+        log.read("priorities", np.array([5]), np.array([0]))
+        log.read("priorities", np.array([5]), np.array([2]))
+        assert detect_races(log) == []
+
+    def test_expected_racy_classification(self):
+        log = AccessLog(wavefront_size=2)
+        log.write("colors", np.array([5]), np.array([0]))
+        log.write("colors", np.array([5]), np.array([2]))
+        (finding,) = detect_races(log, expected_racy=frozenset({"colors"}))
+        assert finding.expected
+        assert "expected" in finding.describe()
+
+    def test_truncation_is_counted_not_silent(self):
+        log = AccessLog(wavefront_size=2)
+        for elem in range(5):
+            log.write("a", np.array([elem]), np.array([0]))
+            log.write("a", np.array([elem]), np.array([2]))
+        counts: dict[str, int] = {}
+        findings = detect_races(log, max_findings_per_array=2, counts_out=counts)
+        assert len(findings) == 2
+        assert counts["a"] == 5
+
+
+class TestAlgorithmScans:
+    def test_jones_plassmann_is_race_free(self, small_skewed):
+        scan = scan_algorithm_races(small_skewed, "jp", seed=0)
+        assert scan.ok and scan.findings == []
+        assert scan.total_accesses > 0
+
+    def test_maxmin_is_race_free(self, small_skewed):
+        scan = scan_algorithm_races(small_skewed, "maxmin", seed=0)
+        assert scan.ok and scan.findings == []
+
+    def test_speculative_races_confined_to_colors(self, small_skewed):
+        scan = scan_algorithm_races(small_skewed, "speculative", seed=0)
+        assert scan.ok  # every race is a declared-benign one
+        assert scan.findings, "speculative on a skewed graph must actually race"
+        assert scan.racy_arrays == ["colors"]
+        assert all(f.expected for f in scan.findings)
+
+    def test_speculative_truncation_reported(self):
+        g = gen.clique(130)  # 3 wavefronts, all adjacent: races everywhere
+        scan = scan_algorithm_races(g, "speculative", seed=0, max_findings_per_array=10)
+        assert len(scan.findings) == 10
+        assert scan.truncated.get("colors", 0) > 0
+
+    def test_unknown_algorithm_rejected(self, triangle):
+        with pytest.raises(KeyError):
+            scan_algorithm_races(triangle, "dsatur")
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_jp_replay_matches_real_algorithm(self, small_skewed, seed):
+        scan = scan_algorithm_races(small_skewed, "jp", seed=seed)
+        real = jones_plassmann_coloring(small_skewed, None, seed=seed)
+        assert np.array_equal(scan.colors, real.colors)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_speculative_replay_matches_real_algorithm(self, small_skewed, seed):
+        scan = scan_algorithm_races(small_skewed, "speculative", seed=seed)
+        real = speculative_coloring(small_skewed, None, seed=seed)
+        assert np.array_equal(scan.colors, real.colors)
+
+    @pytest.mark.parametrize("algorithm", sorted(RACE_SCANNERS))
+    def test_replayed_colorings_are_proper(self, small_skewed, algorithm):
+        scan = scan_algorithm_races(small_skewed, algorithm, seed=1)
+        assert validate_coloring(small_skewed, scan.colors).ok
+
+    def test_summary_states_verdict(self, small_skewed):
+        scan = scan_algorithm_races(small_skewed, "speculative", seed=0)
+        assert "ok" in scan.summary()
+        assert "colors" in scan.summary()

@@ -1,0 +1,246 @@
+"""Unit tests for repro.check.validators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.validators import (
+    CheckFailedError,
+    Report,
+    validate_coloring,
+    validate_csr,
+    validate_dispatch,
+    validate_run,
+    validate_trace,
+)
+from repro.coloring.base import UNCOLORED
+from repro.coloring.sequential import greedy_first_fit
+from repro.engine.context import RunContext
+from repro.graphs import generators as gen
+from repro.harness.runner import run_gpu_coloring
+
+
+def _rules(report: Report) -> set[str]:
+    return {i.rule for i in report.issues}
+
+
+class TestReport:
+    def test_ok_and_severities(self):
+        rep = Report(subject="t")
+        assert rep.ok
+        rep.warn("a.b", "just a warning")
+        assert rep.ok and len(rep.warnings) == 1
+        rep.error("a.c", "a real problem")
+        assert not rep.ok and len(rep.errors) == 1
+
+    def test_merge_accumulates(self):
+        a = Report(subject="a")
+        a.passed(2)
+        a.error("x.y", "boom")
+        b = Report(subject="b")
+        b.passed(3)
+        b.merge(a)
+        assert b.checks_run == 5
+        assert not b.ok
+
+    def test_raise_on_error(self):
+        rep = Report(subject="t")
+        rep.raise_on_error()  # clean: no raise
+        rep.error("x.y", "boom")
+        with pytest.raises(CheckFailedError) as exc:
+            rep.raise_on_error()
+        assert exc.value.report is rep
+        assert "x.y" in str(exc.value)
+
+    def test_summary_mentions_status(self):
+        rep = Report(subject="subj")
+        assert "subj: ok" in rep.summary()
+        rep.error("r.s", "nope")
+        assert "FAILED" in rep.summary()
+
+
+class TestValidateColoring:
+    def test_proper_coloring_passes(self, small_skewed):
+        result = greedy_first_fit(small_skewed, order="natural")
+        rep = validate_coloring(small_skewed, result.colors)
+        assert rep.ok and rep.checks_run >= 5
+
+    def test_conflict_detected(self, triangle):
+        rep = validate_coloring(triangle, np.array([0, 0, 1]))
+        assert not rep.ok
+        assert "coloring.conflict" in _rules(rep)
+
+    def test_incomplete_detected(self, path5):
+        colors = np.array([0, 1, 0, 1, UNCOLORED])
+        rep = validate_coloring(path5, colors)
+        assert "coloring.incomplete" in _rules(rep)
+        assert validate_coloring(path5, colors, allow_uncolored=True).ok
+
+    def test_sentinel_violation(self, path5):
+        rep = validate_coloring(path5, np.array([0, 1, 0, 1, -5]))
+        assert "coloring.sentinel" in _rules(rep)
+
+    def test_shape_mismatch(self, path5):
+        rep = validate_coloring(path5, np.zeros(3, dtype=np.int64))
+        assert "coloring.shape" in _rules(rep)
+
+    def test_greedy_bound_exceeded(self, path5):
+        # 5 distinct colors on a path (max degree 2) is proper but
+        # breaks the max_degree + 1 bound every bundled algorithm obeys.
+        rep = validate_coloring(path5, np.arange(5))
+        assert "coloring.bound" in _rules(rep)
+
+    def test_gap_is_warning_not_error(self, path5):
+        rep = validate_coloring(path5, np.array([0, 2, 0, 2, 0]))
+        assert rep.ok
+        assert "coloring.gaps" in {i.rule for i in rep.warnings}
+
+
+class TestValidateCSR:
+    def test_built_graph_passes(self, small_skewed):
+        assert validate_csr(small_skewed).ok
+
+    def test_bad_indptr_start(self):
+        rep = validate_csr((np.array([1, 2]), np.array([0, 1])))
+        assert "csr.indptr" in _rules(rep)
+
+    def test_indptr_tail_mismatch(self):
+        rep = validate_csr((np.array([0, 5]), np.array([0])))
+        assert "csr.indptr" in _rules(rep)
+
+    def test_decreasing_indptr(self):
+        rep = validate_csr((np.array([0, 2, 1]), np.array([1, 0])))
+        assert "csr.indptr" in _rules(rep)
+
+    def test_out_of_range_neighbor(self):
+        rep = validate_csr((np.array([0, 1, 2]), np.array([5, 0])))
+        assert "csr.range" in _rules(rep)
+
+    def test_self_loop(self):
+        rep = validate_csr((np.array([0, 1, 2]), np.array([0, 0])))
+        assert "csr.selfloop" in _rules(rep)
+
+    def test_unsorted_or_duplicate_rows(self):
+        # both rows hold a duplicated neighbor — symmetric, in range,
+        # but not strictly increasing within the row
+        rep = validate_csr((np.array([0, 2, 4]), np.array([1, 1, 0, 0])))
+        assert "csr.sorted" in _rules(rep)
+
+    def test_asymmetric_adjacency(self):
+        rep = validate_csr((np.array([0, 1, 1]), np.array([1])))
+        assert "csr.symmetry" in _rules(rep)
+
+
+class TestValidateDispatch:
+    def test_clean_dispatch(self):
+        assert validate_dispatch(np.array([5.0, 9.5]), 10.0).ok
+
+    def test_overcommit(self):
+        rep = validate_dispatch(np.array([12.0]), 10.0)
+        assert "sched.overcommit" in _rules(rep)
+
+    def test_pipe_count_mismatch(self):
+        rep = validate_dispatch(np.array([1.0, 2.0]), 10.0, num_cus=4)
+        assert "sched.pipes" in _rules(rep)
+
+    def test_negative_busy(self):
+        rep = validate_dispatch(np.array([-1.0]), 10.0)
+        assert "sched.negative" in _rules(rep)
+
+
+def _kernel(name, ts, dur):
+    from repro.obs.events import TraceEvent
+
+    return TraceEvent(name=name, cat="kernel", ts=ts, dur=dur)
+
+
+def _wall_span(name, ts, dur):
+    from repro.obs.events import TraceEvent
+
+    return TraceEvent(name=name, cat="phase", ts=ts, dur=dur, domain="wall")
+
+
+class TestValidateTrace:
+    def test_real_traced_run_passes(self, small_skewed):
+        ctx = RunContext()
+        ring = ctx.enable_tracing()
+        executor = ctx.executor(schedule="stealing")
+        run_gpu_coloring(small_skewed, "jp", executor, seed=0, context=ctx)
+        rep = validate_trace(ring.events, device=ctx.device)
+        assert rep.ok
+
+    def test_empty_trace_warns(self):
+        rep = validate_trace([])
+        assert rep.ok and "trace.empty" in {i.rule for i in rep.warnings}
+
+    def test_overlapping_kernels_rejected(self):
+        rep = validate_trace([_kernel("k0", 0.0, 10.0), _kernel("k1", 5.0, 10.0)])
+        assert "trace.monotone" in _rules(rep)
+
+    def test_cu_overcommit_rejected(self):
+        from repro.obs.events import TraceEvent
+
+        ev = TraceEvent(
+            name="dispatch",
+            cat="sched",
+            ts=1.0,
+            ph="i",
+            args={"cu_utilization": 1.5},
+        )
+        rep = validate_trace([_kernel("k0", 0.0, 10.0), ev])
+        assert "sched.overcommit" in _rules(rep)
+
+    def test_straddling_spans_rejected(self):
+        rep = validate_trace([_wall_span("a", 0.0, 10.0), _wall_span("b", 5.0, 10.0)])
+        assert "trace.nesting" in _rules(rep)
+
+    def test_nested_spans_pass(self):
+        rep = validate_trace([_wall_span("a", 0.0, 10.0), _wall_span("b", 2.0, 3.0)])
+        assert rep.ok
+
+
+class TestValidateRun:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["maxmin", "jp", "speculative", "hybrid-switch", "edge-centric", "partitioned"],
+    )
+    def test_all_gpu_algorithms_pass(self, small_skewed, algorithm):
+        ctx = RunContext()
+        ring = ctx.enable_tracing()
+        executor = ctx.executor(schedule="stealing")
+        result = run_gpu_coloring(small_skewed, algorithm, executor, seed=0, context=ctx)
+        rep = validate_run(small_skewed, result, events=ring.events, device=ctx.device)
+        assert rep.ok, rep.summary()
+
+    def test_corrupted_result_fails(self, small_skewed):
+        result = run_gpu_coloring(small_skewed, "jp", None, seed=0)
+        u, v = small_skewed.edge_array()
+        result.colors[u[0]] = result.colors[v[0]]
+        rep = validate_run(small_skewed, result)
+        assert not rep.ok
+
+    def test_deep_validate_flag_raises_on_corruption(self, small_skewed):
+        result = run_gpu_coloring(small_skewed, "jp", None, seed=0, deep_validate=True)
+        assert result.num_colors > 0  # clean run passes silently
+
+
+class TestCycleIdentity:
+    def test_deep_validated_run_is_cycle_identical(self, small_skewed):
+        outcomes = []
+        for deep in (False, True):
+            ctx = RunContext()
+            ctx.enable_tracing()
+            executor = ctx.executor(schedule="stealing")
+            result = run_gpu_coloring(
+                small_skewed,
+                "speculative",
+                executor,
+                seed=3,
+                context=ctx,
+                deep_validate=deep,
+            )
+            outcomes.append((result.colors.copy(), result.total_cycles))
+        (colors_a, cycles_a), (colors_b, cycles_b) = outcomes
+        assert np.array_equal(colors_a, colors_b)
+        assert cycles_a == cycles_b
