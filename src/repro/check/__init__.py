@@ -16,10 +16,15 @@ without fear. Four pillars:
   cycles + steal counts hashed) with drift detection and run diffing.
 * :mod:`~repro.check.lint` — a repo-specific AST lint pass (seeded
   RNG, no wall-clock in the simulated-cycle domain, no CSR mutation
-  inside kernels, no unbounded trace appends).
+  inside kernels, no unbounded trace appends), loop-context-aware via
+  the flow package's CFG walker.
+* :mod:`~repro.check.flow` — dataflow-based static analysis of the
+  device kernels: CFG construction, a generic worklist fixed-point
+  framework, thread-variance/coalescing classification, and a static
+  load-imbalance predictor from symbolic per-thread work models.
 
-Surfaced through ``repro check {validate,races,lint,golden}`` on the
-CLI and the ``--validate`` flag on ``color``/runner/batch.
+Surfaced through ``repro check {validate,races,lint,golden,flow}`` on
+the CLI and the ``--validate`` flag on ``color``/runner/batch.
 """
 
 from .determinism import (
@@ -31,6 +36,19 @@ from .determinism import (
     golden_digests,
     load_golden,
     save_golden,
+)
+from .flow import (
+    AccessClass,
+    AlgorithmFlowReport,
+    ImbalancePrediction,
+    KernelFlowReport,
+    Variance,
+    WorkModel,
+    analyze_algorithm,
+    analyze_kernel,
+    predict_imbalance,
+    spearman,
+    work_model,
 )
 from .lint import LintViolation, lint_paths, lint_source
 from .races import AccessLog, RaceFinding, RaceScan, detect_races, scan_algorithm_races
@@ -46,15 +64,23 @@ from .validators import (
 )
 
 __all__ = [
+    "AccessClass",
     "AccessLog",
+    "AlgorithmFlowReport",
     "CheckFailedError",
     "DriftReport",
+    "ImbalancePrediction",
     "Issue",
+    "KernelFlowReport",
     "LintViolation",
     "RaceFinding",
     "RaceScan",
     "Report",
     "RunDigest",
+    "Variance",
+    "WorkModel",
+    "analyze_algorithm",
+    "analyze_kernel",
     "check_drift",
     "compare_runs",
     "detect_races",
@@ -63,8 +89,11 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_golden",
+    "predict_imbalance",
     "save_golden",
     "scan_algorithm_races",
+    "spearman",
+    "work_model",
     "validate_coloring",
     "validate_csr",
     "validate_dispatch",

@@ -1,0 +1,85 @@
+"""Dataflow-based static analysis of device kernels.
+
+Layers (each building on the previous):
+
+* :mod:`~repro.check.flow.cfg` — control-flow graphs over function
+  ASTs: basic blocks, dominators/postdominators, control dependence,
+  loop nesting.
+* :mod:`~repro.check.flow.dataflow` — the generic worklist fixed-point
+  solver plus two classic clients (reaching definitions, live
+  variables).
+* :mod:`~repro.check.flow.divergence` — the thread-variance lattice
+  (UNIFORM ⊑ WAVEFRONT ⊑ THREAD) and affine-in-lane values: classifies
+  every branch as uniform/divergent and every global subscript as
+  broadcast/coalesced/strided/scattered.
+* :mod:`~repro.check.flow.imbalance` — symbolic per-thread work
+  polynomials in vertex degree and the static load-imbalance predictor
+  that replays the persistent-schedule chunking over a graph's degree
+  distribution.
+
+The kernels analyzed are the executable per-thread specs in
+:mod:`repro.coloring.device_kernels`, which the test suite runs
+against the vectorized implementations so the specs cannot drift.
+"""
+
+from .cfg import CFG, BasicBlock, Loop, UnsupportedConstructError, build_cfg
+from .dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Definition,
+    LiveVariables,
+    ReachingDefinitions,
+    solve,
+)
+from .divergence import (
+    AbsVal,
+    AccessClass,
+    AlgorithmFlowReport,
+    BranchInfo,
+    KernelFlowReport,
+    LoopInfo,
+    MemAccess,
+    Variance,
+    analyze_algorithm,
+    analyze_kernel,
+)
+from .imbalance import (
+    ImbalancePrediction,
+    SymLin,
+    WorkModel,
+    algorithm_work_models,
+    predict_imbalance,
+    spearman,
+    work_model,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Loop",
+    "UnsupportedConstructError",
+    "build_cfg",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Definition",
+    "LiveVariables",
+    "ReachingDefinitions",
+    "solve",
+    "AbsVal",
+    "AccessClass",
+    "AlgorithmFlowReport",
+    "BranchInfo",
+    "KernelFlowReport",
+    "LoopInfo",
+    "MemAccess",
+    "Variance",
+    "analyze_algorithm",
+    "analyze_kernel",
+    "ImbalancePrediction",
+    "SymLin",
+    "WorkModel",
+    "algorithm_work_models",
+    "predict_imbalance",
+    "spearman",
+    "work_model",
+]

@@ -1,0 +1,431 @@
+"""Control-flow graphs over Python function ASTs.
+
+The substrate for every analysis in :mod:`repro.check.flow`: basic
+blocks of straight-line statements connected by branch/loop edges,
+plus the graph algorithms the clients need — reverse postorder,
+dominators/postdominators, immediate postdominators, control
+dependence (Ferrante et al.), and loop membership/nesting.
+
+Two construction modes:
+
+* **strict** (default) — the device-kernel dialect: assignments,
+  ``if``/``while``/``for``/``break``/``continue``/``return``. Anything
+  else raises :class:`UnsupportedConstructError`; a kernel spec the
+  analyzer cannot fully model must fail loudly, not silently.
+* **tolerant** — for walking arbitrary repo code (the lint pass):
+  ``with``/``try``/``match`` are approximated (bodies inlined, handlers
+  and cases as alternative branches), nested function/class definitions
+  become opaque statements, and nothing raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "UnsupportedConstructError",
+    "BasicBlock",
+    "Loop",
+    "CFG",
+    "build_cfg",
+]
+
+
+class UnsupportedConstructError(Exception):
+    """A statement the strict (kernel-dialect) CFG builder cannot model."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line statement run with one exit decision.
+
+    ``test`` is the branch condition when the block ends in a two-way
+    decision (``if``/``while``); a ``for`` header carries the loop node
+    in ``branch_node`` with ``test=None`` (its condition — "items
+    remain" — is implicit). Successor order is significant for branch
+    blocks: ``succs[0]`` is the true/loop edge, ``succs[1]`` the
+    false/exit edge.
+    """
+
+    bid: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    test: ast.expr | None = None
+    branch_node: ast.stmt | None = None
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def is_branch(self) -> bool:
+        return len(self.succs) > 1
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop: its header block, body block ids, and the source node."""
+
+    header: int
+    body: frozenset[int]
+    node: ast.stmt  # the ast.For / ast.While
+
+    @property
+    def blocks(self) -> frozenset[int]:
+        return self.body | {self.header}
+
+
+class CFG:
+    """A function (or module) body as basic blocks plus derived facts."""
+
+    def __init__(
+        self,
+        blocks: dict[int, BasicBlock],
+        entry: int,
+        exit: int,
+        loops: list[Loop],
+        name: str = "<cfg>",
+    ) -> None:
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit
+        self.loops = loops
+        self.name = name
+
+    # -- basic graph facts ---------------------------------------------
+
+    def reachable(self) -> list[int]:
+        """Block ids reachable from the entry, in reverse postorder."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(bid: int) -> None:
+            seen.add(bid)
+            for s in self.blocks[bid].succs:
+                if s not in seen:
+                    visit(s)
+            order.append(bid)
+
+        visit(self.entry)
+        return order[::-1]
+
+    # -- dominance ------------------------------------------------------
+
+    def _dominator_sets(
+        self, root: int, edges: dict[int, list[int]]
+    ) -> dict[int, set[int]]:
+        """Iterative set-intersection (post)dominator computation.
+
+        ``edges`` maps each node to its predecessors in the direction
+        of the analysis (real preds for dominators from the entry;
+        succs for postdominators from the exit). Nodes unreachable from
+        ``root`` along reversed ``edges`` get the singleton ``{node}``.
+        """
+        nodes = set(self.blocks)
+        dom: dict[int, set[int]] = {n: set(nodes) for n in nodes}
+        dom[root] = {root}
+        changed = True
+        while changed:
+            changed = False
+            for n in nodes:
+                if n == root:
+                    continue
+                preds = [p for p in edges.get(n, [])]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds)) | {n}
+                else:
+                    new = {n}
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def dominators(self) -> dict[int, set[int]]:
+        """``bid -> set of blocks dominating it`` (inclusive)."""
+        preds = {n: list(b.preds) for n, b in self.blocks.items()}
+        return self._dominator_sets(self.entry, preds)
+
+    def postdominators(self) -> dict[int, set[int]]:
+        """``bid -> set of blocks postdominating it`` (inclusive)."""
+        succs = {n: list(b.succs) for n, b in self.blocks.items()}
+        return self._dominator_sets(self.exit, succs)
+
+    def immediate_postdominators(self) -> dict[int, int | None]:
+        """Closest strict postdominator per block (``None`` for the exit).
+
+        Among a block's strict postdominators the *immediate* one is
+        the nearest, i.e. the one itself postdominated by no other —
+        equivalently the candidate with the largest postdominator set.
+        """
+        pdom = self.postdominators()
+        ipdom: dict[int, int | None] = {}
+        for bid in self.blocks:
+            cands = pdom[bid] - {bid}
+            ipdom[bid] = max(cands, key=lambda c: len(pdom[c])) if cands else None
+        return ipdom
+
+    def control_dependence(self) -> dict[int, set[int]]:
+        """``bid -> branch blocks it is control-dependent on`` (Ferrante).
+
+        Block X is control-dependent on branch B when one of B's edges
+        commits execution to X while another can avoid it: X
+        postdominates a successor of B but not B itself.
+        """
+        ipdom = self.immediate_postdominators()
+        cd: dict[int, set[int]] = {bid: set() for bid in self.blocks}
+        for bid, block in self.blocks.items():
+            if len(block.succs) < 2:
+                continue
+            stop = ipdom[bid]
+            for succ in block.succs:
+                runner: int | None = succ
+                seen: set[int] = set()
+                while runner is not None and runner != stop and runner not in seen:
+                    seen.add(runner)
+                    if runner != bid:
+                        cd[runner].add(bid)
+                    runner = ipdom[runner]
+        return cd
+
+    # -- loops ----------------------------------------------------------
+
+    def loop_depth(self) -> dict[int, int]:
+        """``bid -> number of loops whose body contains the block``."""
+        depth = dict.fromkeys(self.blocks, 0)
+        for loop in self.loops:
+            for bid in loop.body:
+                depth[bid] += 1
+        return depth
+
+    def statement_loop_depth(self) -> dict[ast.stmt, int]:
+        """Loop-nesting depth of every statement (by node identity).
+
+        A loop's own header node counts the loops *around* it, not
+        itself; statements inside its body count it.
+        """
+        depth = self.loop_depth()
+        out: dict[ast.stmt, int] = {}
+        for bid, block in self.blocks.items():
+            for stmt in block.stmts:
+                out[stmt] = depth[bid]
+            if block.branch_node is not None:
+                out.setdefault(block.branch_node, depth[bid])
+        return out
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+_SIMPLE = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Assert,
+    ast.Delete,
+)
+
+_OPAQUE_TOLERANT = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+class _Builder:
+    def __init__(self, strict: bool) -> None:
+        self.strict = strict
+        self.blocks: dict[int, BasicBlock] = {}
+        self.loops: list[Loop] = []
+        self.loop_stack: list[tuple[int, int]] = []  # (header, after)
+        self._next = 0
+
+    def new_block(self) -> BasicBlock:
+        b = BasicBlock(bid=self._next)
+        self.blocks[b.bid] = b
+        self._next += 1
+        return b
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.append(dst)
+        self.blocks[dst].preds.append(src)
+
+    # ------------------------------------------------------------------
+
+    def build(self, body: list[ast.stmt], name: str) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        self.exit_bid = exit_block.bid
+        end = self.visit_body(body, entry)
+        if end is not None:
+            self.edge(end.bid, exit_block.bid)
+        return CFG(self.blocks, entry.bid, exit_block.bid, self.loops, name=name)
+
+    def visit_body(
+        self, stmts: list[ast.stmt], current: BasicBlock | None
+    ) -> BasicBlock | None:
+        """Thread ``stmts`` through the graph; ``None`` = path terminated."""
+        for stmt in stmts:
+            if current is None:
+                # unreachable code after return/break/continue; keep it
+                # in a floating block so analyses can still see it.
+                current = self.new_block()
+            current = self.visit_stmt(stmt, current)
+        return current
+
+    def visit_stmt(self, stmt: ast.stmt, current: BasicBlock) -> BasicBlock | None:
+        if isinstance(stmt, ast.Pass):
+            return current
+        if isinstance(stmt, _SIMPLE):
+            current.stmts.append(stmt)
+            return current
+        if isinstance(stmt, ast.Return):
+            current.stmts.append(stmt)
+            self.edge(current.bid, self.exit_bid)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.stmts.append(stmt)
+            self.edge(current.bid, self.exit_bid)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._visit_while(stmt, current)
+        if isinstance(stmt, ast.For):
+            return self._visit_for(stmt, current)
+        if isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise UnsupportedConstructError("break outside loop")
+            self.edge(current.bid, self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise UnsupportedConstructError("continue outside loop")
+            self.edge(current.bid, self.loop_stack[-1][0])
+            return None
+        if not self.strict:
+            return self._visit_tolerant(stmt, current)
+        raise UnsupportedConstructError(
+            f"{type(stmt).__name__} at line {getattr(stmt, 'lineno', '?')} is not "
+            "part of the device-kernel dialect"
+        )
+
+    # -- structured statements -----------------------------------------
+
+    def _visit_if(self, stmt: ast.If, current: BasicBlock) -> BasicBlock | None:
+        current.test = stmt.test
+        current.branch_node = stmt
+        then_block = self.new_block()
+        after = self.new_block()
+        self.edge(current.bid, then_block.bid)
+        then_end = self.visit_body(stmt.body, then_block)
+        if stmt.orelse:
+            else_block = self.new_block()
+            self.edge(current.bid, else_block.bid)
+            else_end = self.visit_body(stmt.orelse, else_block)
+        else:
+            self.edge(current.bid, after.bid)
+            else_end = None
+        if then_end is not None:
+            self.edge(then_end.bid, after.bid)
+        if else_end is not None:
+            self.edge(else_end.bid, after.bid)
+        return after
+
+    def _loop_body(
+        self, node: ast.stmt, header: BasicBlock, body: list[ast.stmt], after: BasicBlock
+    ) -> None:
+        body_block = self.new_block()
+        self.edge(header.bid, body_block.bid)
+        self.edge(header.bid, after.bid)
+        first_body_bid = body_block.bid
+        self.loop_stack.append((header.bid, after.bid))
+        body_end = self.visit_body(body, body_block)
+        self.loop_stack.pop()
+        if body_end is not None:
+            self.edge(body_end.bid, header.bid)
+        members = frozenset(
+            bid for bid in self.blocks if first_body_bid <= bid < self._next
+        )
+        self.loops.append(Loop(header=header.bid, body=members, node=node))
+
+    def _visit_while(self, stmt: ast.While, current: BasicBlock) -> BasicBlock:
+        header = self.new_block()
+        self.edge(current.bid, header.bid)
+        header.test = stmt.test
+        header.branch_node = stmt
+        after = self.new_block()
+        self._loop_body(stmt, header, stmt.body, after)
+        if stmt.orelse:
+            # the else body runs on normal (non-break) exit: it sits on
+            # the header's false edge, before ``after``. Approximated by
+            # inlining it between the loop and what follows.
+            after = self.visit_body(stmt.orelse, after) or self.new_block()
+        return after
+
+    def _visit_for(self, stmt: ast.For, current: BasicBlock) -> BasicBlock:
+        header = self.new_block()
+        self.edge(current.bid, header.bid)
+        header.branch_node = stmt
+        after = self.new_block()
+        self._loop_body(stmt, header, stmt.body, after)
+        if stmt.orelse:
+            after = self.visit_body(stmt.orelse, after) or self.new_block()
+        return after
+
+    # -- tolerant-mode approximations ----------------------------------
+
+    def _visit_tolerant(self, stmt: ast.stmt, current: BasicBlock) -> BasicBlock | None:
+        if isinstance(stmt, _OPAQUE_TOLERANT):
+            current.stmts.append(stmt)
+            return current
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.stmts.append(stmt)  # the items' calls are visible here
+            return self.visit_body(stmt.body, current)
+        if isinstance(stmt, ast.Try):
+            body_end = self.visit_body(stmt.body, current)
+            after = self.new_block()
+            for handler in stmt.handlers:
+                h_block = self.new_block()
+                self.edge(current.bid, h_block.bid)
+                h_end = self.visit_body(handler.body, h_block)
+                if h_end is not None:
+                    self.edge(h_end.bid, after.bid)
+            if body_end is not None:
+                body_end = self.visit_body(stmt.orelse, body_end)
+            if body_end is not None:
+                self.edge(body_end.bid, after.bid)
+            return self.visit_body(stmt.finalbody, after)
+        if isinstance(stmt, ast.Match):
+            after = self.new_block()
+            current.branch_node = stmt
+            for case in stmt.cases:
+                c_block = self.new_block()
+                self.edge(current.bid, c_block.bid)
+                c_end = self.visit_body(case.body, c_block)
+                if c_end is not None:
+                    self.edge(c_end.bid, after.bid)
+            self.edge(current.bid, after.bid)  # no case may match
+            return after
+        # anything else: keep it visible as an opaque statement.
+        current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module | list[ast.stmt],
+    *,
+    strict: bool = True,
+    name: str | None = None,
+) -> CFG:
+    """Build the CFG of a function, module, or raw statement list."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        body, default_name = node.body, node.name
+    elif isinstance(node, ast.Module):
+        body, default_name = node.body, "<module>"
+    else:
+        body, default_name = node, "<stmts>"
+    return _Builder(strict).build(body, name=name or default_name)

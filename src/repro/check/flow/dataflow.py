@@ -1,0 +1,256 @@
+"""Generic worklist fixed-point dataflow over :class:`~repro.check.flow.cfg.CFG`.
+
+An analysis supplies a lattice (``initial``/``boundary`` values, a
+``join``) and a per-block ``transfer`` function; :func:`solve` iterates
+to the fixed point in either direction. Two classic clients live here —
+reaching definitions (forward) and live variables (backward) — both
+used by the divergence analysis and the lint pass, and serving as the
+reference for adding new ones (see ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from .cfg import CFG, BasicBlock
+
+__all__ = [
+    "DataflowAnalysis",
+    "DataflowResult",
+    "solve",
+    "Definition",
+    "ReachingDefinitions",
+    "LiveVariables",
+    "assigned_names",
+    "read_names",
+]
+
+L = TypeVar("L")
+
+
+class DataflowAnalysis(Generic[L]):
+    """One dataflow problem: lattice + transfer, direction-agnostic."""
+
+    #: "forward" propagates entry→exit along edges; "backward" the reverse.
+    direction: str = "forward"
+
+    def boundary(self) -> L:
+        """Value at the entry (forward) or exit (backward) block."""
+        raise NotImplementedError
+
+    def initial(self) -> L:
+        """Optimistic starting value for every other block (lattice ⊥)."""
+        raise NotImplementedError
+
+    def join(self, a: L, b: L) -> L:
+        """Least upper bound of two facts meeting at a block boundary."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: L) -> L:
+        """Push ``fact`` through ``block``; must not mutate ``fact``."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[L]):
+    """Per-block input/output facts at the fixed point.
+
+    For a backward analysis ``block_in`` still means "fact at the top
+    of the block" — i.e. the *output* of the backward transfer.
+    """
+
+    block_in: dict[int, L]
+    block_out: dict[int, L]
+    iterations: int
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis[L], *, max_iterations: int = 10_000) -> DataflowResult[L]:
+    """Run ``analysis`` over ``cfg`` to a fixed point (worklist order)."""
+    forward = analysis.direction == "forward"
+    order = cfg.reachable()
+    if not forward:
+        order = order[::-1]
+    root = cfg.entry if forward else cfg.exit
+
+    block_in: dict[int, L] = {}
+    block_out: dict[int, L] = {}
+    for bid in cfg.blocks:
+        block_in[bid] = analysis.initial()
+        block_out[bid] = analysis.initial()
+
+    from collections import deque
+
+    work = deque(order)
+    queued = set(order)
+    iterations = 0
+    while work:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge in {max_iterations} iterations "
+                f"({cfg.name}, {type(analysis).__name__})"
+            )
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+
+        feeders = block.preds if forward else block.succs
+        if bid == root:
+            fact = analysis.boundary()
+        else:
+            fact = analysis.initial()
+        for f in feeders:
+            fact = analysis.join(fact, block_out[f] if forward else block_in[f])
+
+        new = analysis.transfer(block, fact)
+        if forward:
+            block_in[bid] = fact
+            if new != block_out[bid]:
+                block_out[bid] = new
+                for s in block.succs:
+                    if s not in queued:
+                        work.append(s)
+                        queued.add(s)
+        else:
+            block_out[bid] = fact
+            if new != block_in[bid]:
+                block_in[bid] = new
+                for p in block.preds:
+                    if p not in queued:
+                        work.append(p)
+                        queued.add(p)
+    return DataflowResult(block_in=block_in, block_out=block_out, iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the clients
+# ----------------------------------------------------------------------
+
+
+def assigned_names(stmt: ast.stmt) -> set[str]:
+    """Scalar names the statement (re)binds — subscript stores excluded."""
+    out: set[str] = set()
+
+    def collect(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect(elt)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+        # ast.Subscript / ast.Attribute stores mutate objects, not names
+
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            collect(t)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        collect(stmt.target)
+    elif isinstance(stmt, ast.For):
+        collect(stmt.target)
+    return out
+
+
+def read_names(node: ast.AST) -> set[str]:
+    """Every name loaded anywhere inside ``node``."""
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+# ----------------------------------------------------------------------
+# client 1: reaching definitions (forward)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site: ``name`` bound at ``stmt`` in block ``bid``.
+
+    ``stmt=None`` marks a parameter definition (live on entry).
+    """
+
+    name: str
+    bid: int
+    index: int  # statement position within the block; -1 for parameters
+
+    def __repr__(self) -> str:  # compact for test failure output
+        where = "param" if self.index < 0 else f"b{self.bid}.{self.index}"
+        return f"<def {self.name}@{where}>"
+
+
+class ReachingDefinitions(DataflowAnalysis[frozenset[Definition]]):
+    """Which definitions of each name may reach each program point."""
+
+    direction = "forward"
+
+    def __init__(self, cfg: CFG, params: tuple[str, ...] = ()) -> None:
+        self.cfg = cfg
+        self.params = params
+
+    def boundary(self) -> frozenset[Definition]:
+        return frozenset(Definition(name=p, bid=self.cfg.entry, index=-1) for p in self.params)
+
+    def initial(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def join(self, a: frozenset[Definition], b: frozenset[Definition]) -> frozenset[Definition]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, fact: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        live = set(fact)
+        for index, stmt in enumerate(block.stmts):
+            names = assigned_names(stmt)
+            if not names:
+                continue
+            live = {d for d in live if d.name not in names}
+            live |= {Definition(name=n, bid=block.bid, index=index) for n in names}
+        # a for-header binds its target on the loop edge
+        if block.branch_node is not None and isinstance(block.branch_node, ast.For):
+            for n in assigned_names(block.branch_node):
+                live = {d for d in live if d.name != n}
+                live.add(Definition(name=n, bid=block.bid, index=len(block.stmts)))
+        return frozenset(live)
+
+    def definitions_reaching(self, result: DataflowResult[frozenset[Definition]], bid: int, name: str) -> frozenset[Definition]:
+        """The subset of defs of ``name`` reaching the top of block ``bid``."""
+        return frozenset(d for d in result.block_in[bid] if d.name == name)
+
+
+# ----------------------------------------------------------------------
+# client 2: live variables (backward)
+# ----------------------------------------------------------------------
+
+
+class LiveVariables(DataflowAnalysis[frozenset[str]]):
+    """Which names may still be read after each program point."""
+
+    direction = "backward"
+
+    def boundary(self) -> frozenset[str]:
+        return frozenset()
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+        return a | b
+
+    def transfer(self, block: BasicBlock, fact: frozenset[str]) -> frozenset[str]:
+        live = set(fact)
+        # branch/loop tests read at the bottom of the block
+        if block.test is not None:
+            live |= read_names(block.test)
+        if block.branch_node is not None and isinstance(block.branch_node, ast.For):
+            live -= assigned_names(block.branch_node)
+            live |= read_names(block.branch_node.iter)
+        for stmt in reversed(block.stmts):
+            live -= assigned_names(stmt)
+            live |= read_names(stmt)
+        return frozenset(live)

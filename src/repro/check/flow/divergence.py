@@ -1,0 +1,768 @@
+"""Thread-variance and memory-coalescing analysis of device kernels.
+
+The core abstraction is a three-level *thread-variance lattice*
+
+    UNIFORM  ⊑  WAVEFRONT  ⊑  THREAD          (⊑ UNKNOWN)
+
+seeded at the thread-identity parameters (``tid``/``lane`` are
+thread-varying, ``wid`` wavefront-varying, launch constants uniform)
+and propagated through the kernel CFG with the generic worklist solver
+from :mod:`repro.check.flow.dataflow`. On top of variance each value
+carries an *affine-in-lane* coefficient: ``value = coeff · lane +
+base`` with a wavefront-uniform base. The pair answers both questions
+the simulator's cost model cares about:
+
+* a branch/loop bound whose test is THREAD-varying splits the
+  wavefront (divergence — lockstep pays the max over lanes);
+* a global subscript index that is affine with ``coeff == 1`` is a
+  coalesced access, ``|coeff| > 1`` strided, non-affine scattered,
+  and ⊑ WAVEFRONT a broadcast.
+
+Control dependence feeds back into data: a name assigned under a
+divergent branch is itself thread-varying even if the right-hand side
+is uniform. The analysis alternates the dataflow fixed point with a
+recomputation of each block's control context until both stabilize.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coloring.device_kernels import DeviceKernel, kernel_ast
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import DataflowAnalysis, assigned_names, solve
+
+__all__ = [
+    "Variance",
+    "AccessClass",
+    "AbsVal",
+    "BranchInfo",
+    "LoopInfo",
+    "MemAccess",
+    "KernelFlowReport",
+    "AlgorithmFlowReport",
+    "analyze_kernel",
+    "analyze_algorithm",
+]
+
+
+class Variance(enum.IntEnum):
+    """How a value varies across the threads of one wavefront."""
+
+    UNIFORM = 0  # same for every thread of the launch
+    WAVEFRONT = 1  # same within a wavefront, may differ across wavefronts
+    THREAD = 2  # may differ lane to lane — the divergence level
+    UNKNOWN = 3  # analysis could not bound it (always a finding)
+
+    def join(self, other: "Variance") -> "Variance":
+        return Variance(max(self, other))
+
+
+class AccessClass(enum.Enum):
+    """Memory-transaction shape of one global subscript."""
+
+    BROADCAST = "broadcast"  # index ⊑ WAVEFRONT: one transaction, all lanes
+    COALESCED = "coalesced"  # index = lane + uniform: one wide transaction
+    STRIDED = "strided"  # index = k·lane + uniform, |k| > 1
+    SCATTERED = "scattered"  # thread-varying, non-affine: worst case
+    UNKNOWN = "unknown"
+
+
+_COEFF_CAP = 64  # |affine coeff| beyond a wavefront is as bad as scattered
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """Abstract value: variance + affine-in-lane coefficient.
+
+    ``coeff`` is meaningful only at THREAD variance: ``None`` means
+    non-affine (no lane structure), an int ``k`` means ``k·lane +
+    wavefront-uniform``. Below THREAD the coefficient is always 0.
+    ``array_content`` marks thread-private arrays (built from list
+    displays); it carries the variance of the stored elements.
+    """
+
+    var: Variance
+    coeff: Optional[int] = 0
+    array_content: Optional[Variance] = None
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        var = self.var.join(other.var)
+        if self.array_content is not None or other.array_content is not None:
+            a = self.array_content or Variance.UNIFORM
+            b = other.array_content or Variance.UNIFORM
+            return AbsVal(var, 0, a.join(b))
+        if var < Variance.THREAD:
+            return AbsVal(var, 0)
+        coeff = self.coeff if self.coeff == other.coeff else None
+        return AbsVal(var, coeff)
+
+    def with_context(self, ctx: Variance) -> "AbsVal":
+        """The value as bound under control context ``ctx``."""
+        if ctx <= self.var:
+            return self
+        if self.array_content is not None:
+            return AbsVal(self.var.join(ctx), 0, self.array_content.join(ctx))
+        return AbsVal(self.var.join(ctx), None if ctx >= Variance.THREAD else 0)
+
+
+UNIFORM_VAL = AbsVal(Variance.UNIFORM, 0)
+UNKNOWN_VAL = AbsVal(Variance.UNKNOWN, None)
+
+Env = dict[str, AbsVal]
+
+#: calls whose result simply joins the argument variances
+_PURE_CALLS = {"min", "max", "abs", "len", "int", "float", "bool"}
+
+
+def classify_index(val: AbsVal) -> AccessClass:
+    if val.var == Variance.UNKNOWN:
+        return AccessClass.UNKNOWN
+    if val.var <= Variance.WAVEFRONT:
+        return AccessClass.BROADCAST
+    if val.coeff is None or abs(val.coeff) > _COEFF_CAP:
+        return AccessClass.SCATTERED
+    if abs(val.coeff) == 1:
+        return AccessClass.COALESCED
+    if val.coeff == 0:
+        # thread-varying value with no lane structure claimed affine-0
+        # cannot happen via join normal form; treat defensively
+        return AccessClass.SCATTERED
+    return AccessClass.STRIDED
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    line: int
+    kind: str  # "if" | "while" | "match"
+    variance: Variance
+    source: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "line": self.line,
+            "kind": self.kind,
+            "variance": self.variance.name.lower(),
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    line: int
+    kind: str  # "for" | "while"
+    bound_variance: Variance
+    source: str
+
+    @property
+    def divergent(self) -> bool:
+        return self.bound_variance >= Variance.THREAD
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "line": self.line,
+            "kind": self.kind,
+            "bound_variance": self.bound_variance.name.lower(),
+            "divergent": self.divergent,
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    array: str
+    line: int
+    kind: str  # "load" | "store"
+    space: str  # "global" | "local"
+    access: AccessClass
+    index_source: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "array": self.array,
+            "line": self.line,
+            "kind": self.kind,
+            "space": self.space,
+            "access": self.access.value,
+            "index": self.index_source,
+        }
+
+
+@dataclass
+class KernelFlowReport:
+    """Everything the analyzer concluded about one device kernel."""
+
+    kernel: str
+    mapping: str
+    branches: list[BranchInfo] = field(default_factory=list)
+    loops: list[LoopInfo] = field(default_factory=list)
+    accesses: list[MemAccess] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def unknown_branches(self) -> list[BranchInfo]:
+        return [b for b in self.branches if b.variance == Variance.UNKNOWN]
+
+    @property
+    def divergent_branches(self) -> list[BranchInfo]:
+        return [b for b in self.branches if b.variance >= Variance.THREAD]
+
+    @property
+    def divergent_loops(self) -> list[LoopInfo]:
+        return [lp for lp in self.loops if lp.divergent]
+
+    def stores_to(self, array: str) -> list[MemAccess]:
+        return [a for a in self.accesses if a.array == array and a.kind == "store"]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "mapping": self.mapping,
+            "branches": [b.to_dict() for b in self.branches],
+            "loops": [lp.to_dict() for lp in self.loops],
+            "accesses": [a.to_dict() for a in self.accesses],
+            "warnings": list(self.warnings),
+            "summary": {
+                "num_branches": len(self.branches),
+                "divergent_branches": len(self.divergent_branches),
+                "unknown_branches": len(self.unknown_branches),
+                "num_loops": len(self.loops),
+                "divergent_loops": len(self.divergent_loops),
+                "global_accesses": sum(1 for a in self.accesses if a.space == "global"),
+                "coalesced": sum(
+                    1
+                    for a in self.accesses
+                    if a.space == "global" and a.access == AccessClass.COALESCED
+                ),
+                "scattered": sum(
+                    1
+                    for a in self.accesses
+                    if a.space == "global" and a.access == AccessClass.SCATTERED
+                ),
+            },
+        }
+
+
+@dataclass
+class AlgorithmFlowReport:
+    algorithm: str
+    kernels: list[KernelFlowReport]
+
+    @property
+    def unknown_branches(self) -> list[BranchInfo]:
+        return [b for k in self.kernels for b in k.unknown_branches]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "kernels": [k.to_dict() for k in self.kernels],
+        }
+
+
+# ----------------------------------------------------------------------
+# the abstract interpreter
+# ----------------------------------------------------------------------
+
+
+class _Interp:
+    """Expression/statement evaluation shared by transfer + reporting."""
+
+    def __init__(self, global_arrays: frozenset[str]) -> None:
+        self.global_arrays = global_arrays
+        self.warnings: list[str] = []
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: ast.expr, env: Env, ctx: Variance) -> AbsVal:
+        if isinstance(node, ast.Constant):
+            return UNIFORM_VAL
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.global_arrays:
+                return UNIFORM_VAL  # the handle itself is uniform
+            # free names resolve to module-level constants — uniform.
+            return UNIFORM_VAL
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env, ctx)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand, env, ctx)
+            if isinstance(node.op, ast.USub) and inner.coeff is not None:
+                return AbsVal(inner.var, -inner.coeff)
+            if isinstance(node.op, ast.Not):
+                return AbsVal(inner.var, 0 if inner.var < Variance.THREAD else None)
+            return AbsVal(inner.var, inner.coeff if isinstance(node.op, ast.UAdd) else None)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            parts: list[ast.expr]
+            if isinstance(node, ast.Compare):
+                parts = [node.left, *node.comparators]
+            else:
+                parts = list(node.values)
+            var = Variance.UNIFORM
+            for p in parts:
+                var = var.join(self.eval(p, env, ctx).var)
+            return AbsVal(var, 0 if var < Variance.THREAD else None)
+        if isinstance(node, ast.Subscript):
+            return self._eval_load(node, env, ctx)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            content = Variance.UNIFORM
+            for elt in node.elts:
+                content = content.join(self.eval(elt, env, ctx).var)
+            return AbsVal(Variance.UNIFORM, 0, content)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, ctx)
+        if isinstance(node, ast.IfExp):
+            cond = self.eval(node.test, env, ctx).var
+            a = self.eval(node.body, env, ctx.join(cond))
+            b = self.eval(node.orelse, env, ctx.join(cond))
+            return a.join(b).with_context(cond)
+        self.warnings.append(
+            f"line {getattr(node, 'lineno', '?')}: cannot model "
+            f"{type(node).__name__}; assuming unknown variance"
+        )
+        return UNKNOWN_VAL
+
+    def _eval_binop(self, node: ast.BinOp, env: Env, ctx: Variance) -> AbsVal:
+        left = self.eval(node.left, env, ctx)
+        right = self.eval(node.right, env, ctx)
+        if left.array_content is not None or right.array_content is not None:
+            # list replication: [x] * n — a fresh private array
+            arr = left if left.array_content is not None else right
+            other = right if left.array_content is not None else left
+            content = (arr.array_content or Variance.UNIFORM).join(
+                Variance.UNIFORM if other.var < Variance.THREAD else other.var
+            )
+            return AbsVal(arr.var.join(other.var), 0, content)
+        var = left.var.join(right.var)
+        if var < Variance.THREAD:
+            return AbsVal(var, 0)
+        if var == Variance.UNKNOWN:
+            return AbsVal(var, None)
+        lc, rc = left.coeff, right.coeff
+        if isinstance(node.op, ast.Add) and lc is not None and rc is not None:
+            return AbsVal(var, _cap(lc + rc))
+        if isinstance(node.op, ast.Sub) and lc is not None and rc is not None:
+            return AbsVal(var, _cap(lc - rc))
+        if isinstance(node.op, ast.Mult):
+            k = _literal_int(node.right)
+            if k is None:
+                k = _literal_int(node.left)
+                lc = rc
+            if k is not None and lc is not None:
+                return AbsVal(var, _cap(lc * k))
+        return AbsVal(var, None)
+
+    def _eval_load(self, node: ast.Subscript, env: Env, ctx: Variance) -> AbsVal:
+        base = node.value
+        index = self.eval(node.slice, env, ctx)
+        if isinstance(base, ast.Name):
+            val = env.get(base.id)
+            if val is not None and val.array_content is not None:
+                var = index.var.join(val.array_content)
+                return AbsVal(var, 0 if var < Variance.THREAD else None)
+            if base.id in self.global_arrays:
+                # array contents are arbitrary: the load kills affinity
+                # but variance is bounded by the index variance (same
+                # index → same cell → same value).
+                return AbsVal(index.var, 0 if index.var < Variance.THREAD else None)
+        if isinstance(base, (ast.Tuple, ast.List)):
+            content = self.eval(base, env, ctx).array_content or Variance.UNIFORM
+            var = index.var.join(content)
+            return AbsVal(var, 0 if var < Variance.THREAD else None)
+        self.warnings.append(
+            f"line {node.lineno}: subscript of unmodelled base "
+            f"{ast.unparse(base)}; assuming unknown variance"
+        )
+        return UNKNOWN_VAL
+
+    def _eval_call(self, node: ast.Call, env: Env, ctx: Variance) -> AbsVal:
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name in _PURE_CALLS:
+            var = Variance.UNIFORM
+            for arg in node.args:
+                var = var.join(self.eval(arg, env, ctx).var)
+            return AbsVal(var, 0 if var < Variance.THREAD else None)
+        if name == "range":
+            # a range object is only consumed by for-headers, which
+            # model it directly; its variance is the join of the args.
+            var = Variance.UNIFORM
+            for arg in node.args:
+                var = var.join(self.eval(arg, env, ctx).var)
+            return AbsVal(var, 0 if var < Variance.THREAD else None)
+        self.warnings.append(
+            f"line {node.lineno}: call to {name or ast.unparse(node.func)!r} "
+            "is not modelled; assuming unknown variance"
+        )
+        return UNKNOWN_VAL
+
+    # -- statements ----------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env, ctx: Variance) -> Env:
+        """Apply one statement's binding effect (functional update)."""
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            if value is None:  # bare annotation
+                return env
+            val = self.eval(value, env, ctx).with_context(ctx)
+            out = dict(env)
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                self._bind(target, val, out, env, ctx)
+            return out
+        if isinstance(stmt, ast.AugAssign):
+            read = ast.BinOp(
+                left=_as_load(stmt.target), op=stmt.op, right=stmt.value
+            )
+            ast.copy_location(read, stmt)
+            ast.fix_missing_locations(read)
+            val = self.eval(read, env, ctx).with_context(ctx)
+            out = dict(env)
+            self._bind(stmt.target, val, out, env, ctx)
+            return out
+        if isinstance(stmt, (ast.Expr, ast.Assert, ast.Return)):
+            if getattr(stmt, "value", None) is not None:
+                self.eval(stmt.value, env, ctx)  # type: ignore[arg-type]
+            return env
+        return env
+
+    def _bind(
+        self, target: ast.expr, val: AbsVal, out: Env, env: Env, ctx: Variance
+    ) -> None:
+        if isinstance(target, ast.Name):
+            out[target.id] = val
+            return
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            name = target.value.id
+            current = env.get(name)
+            if current is not None and current.array_content is not None:
+                # weak update: the store may or may not hit each cell
+                content = current.array_content.join(val.var).join(ctx)
+                out[name] = AbsVal(current.var, 0, content)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            spread = AbsVal(val.var, None if val.var >= Variance.THREAD else 0)
+            for elt in target.elts:
+                self._bind(elt, spread, out, env, ctx)
+
+    def bind_loop_target(
+        self, node: ast.For, env: Env, ctx: Variance
+    ) -> tuple[Env, AbsVal]:
+        """Bind the for-target; returns (env', loop-bound variance value)."""
+        out = dict(env)
+        iter_expr = node.iter
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "range"
+        ):
+            args = iter_expr.args
+            start = self.eval(args[0], env, ctx) if len(args) > 1 else UNIFORM_VAL
+            stop = self.eval(args[-1] if len(args) == 1 else args[1], env, ctx)
+            step = self.eval(args[2], env, ctx) if len(args) > 2 else UNIFORM_VAL
+            # loop var = start + k·step; the iteration counter k is
+            # lockstep-uniform, so the step contributes its own
+            # variance but no lane coefficient.
+            step_contrib = AbsVal(
+                step.var, 0 if step.var < Variance.THREAD else None
+            )
+            loop_val = AbsVal(
+                start.var.join(step_contrib.var),
+                start.coeff
+                if start.coeff is not None and step_contrib.coeff is not None
+                else None
+                if start.var.join(step_contrib.var) >= Variance.THREAD
+                else 0,
+            )
+            bound_var = start.var.join(stop.var).join(step.var)
+            bound = AbsVal(bound_var, 0 if bound_var < Variance.THREAD else None)
+        else:
+            seq = self.eval(iter_expr, env, ctx)
+            content = seq.array_content if seq.array_content is not None else seq.var
+            var = seq.var.join(content)
+            loop_val = AbsVal(var, 0 if var < Variance.THREAD else None)
+            bound = AbsVal(seq.var, 0 if seq.var < Variance.THREAD else None)
+        self._bind(node.target, loop_val.with_context(ctx), out, env, ctx)
+        return out, bound
+
+
+def _cap(coeff: int) -> Optional[int]:
+    return coeff if abs(coeff) <= _COEFF_CAP else None
+
+
+def _literal_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _as_load(target: ast.expr) -> ast.expr:
+    clone = ast.parse(ast.unparse(target), mode="eval").body
+    return clone
+
+
+# ----------------------------------------------------------------------
+# the dataflow client: name → AbsVal environments
+# ----------------------------------------------------------------------
+
+_Fact = Optional[Env]
+
+
+class _VarianceAnalysis(DataflowAnalysis[_Fact]):
+    """Forward env propagation under a fixed control-context map."""
+
+    direction = "forward"
+
+    def __init__(
+        self,
+        cfg: CFG,
+        interp: _Interp,
+        seed: Env,
+        ctx_map: dict[int, Variance],
+    ) -> None:
+        self.cfg = cfg
+        self.interp = interp
+        self.seed = seed
+        self.ctx_map = ctx_map
+
+    def boundary(self) -> _Fact:
+        return dict(self.seed)
+
+    def initial(self) -> _Fact:
+        return None  # ⊥ — join identity, transfer no-op
+
+    def join(self, a: _Fact, b: _Fact) -> _Fact:
+        if a is None:
+            return None if b is None else dict(b)
+        if b is None:
+            return dict(a)
+        out = dict(a)
+        for name, val in b.items():
+            out[name] = val.join(out[name]) if name in out else val
+        return out
+
+    def transfer(self, block: BasicBlock, fact: _Fact) -> _Fact:
+        if fact is None:
+            return None
+        ctx = self.ctx_map.get(block.bid, Variance.UNIFORM)
+        env = dict(fact)
+        for stmt in block.stmts:
+            env = self.interp.exec_stmt(stmt, env, ctx)
+        if isinstance(block.branch_node, ast.For):
+            env, _ = self.interp.bind_loop_target(block.branch_node, env, ctx)
+        return env
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+_MAX_CTX_ROUNDS = 8
+
+
+def _seed_env(kernel: DeviceKernel) -> Env:
+    env: Env = {}
+    for p in kernel.params:
+        if p in ("tid", "lane"):
+            env[p] = AbsVal(Variance.THREAD, 1)
+        elif p == "wid":
+            env[p] = AbsVal(Variance.WAVEFRONT, 0)
+        elif p in kernel.uniform_params:
+            env[p] = UNIFORM_VAL
+        else:
+            env[p] = UNIFORM_VAL  # array handle; contents via loads
+    return env
+
+
+def _branch_variance(
+    block: BasicBlock, env: _Fact, interp: _Interp, ctx: Variance
+) -> Variance:
+    """Variance of the block's exit decision under env-at-exit."""
+    if env is None:
+        return Variance.UNIFORM  # unreachable: never splits anything
+    if isinstance(block.branch_node, ast.For):
+        _, bound = interp.bind_loop_target(block.branch_node, env, ctx)
+        return bound.var
+    if block.test is not None:
+        return interp.eval(block.test, env, ctx).var
+    return Variance.UNIFORM
+
+
+def analyze_kernel(kernel: DeviceKernel) -> KernelFlowReport:
+    """Classify every branch, loop bound, and memory access of a kernel."""
+    from .cfg import UnsupportedConstructError  # narrow import for callers
+
+    fn_ast = kernel_ast(kernel)
+    try:
+        cfg = build_cfg(fn_ast, strict=True, name=kernel.name)
+    except UnsupportedConstructError as exc:
+        report = KernelFlowReport(kernel=kernel.name, mapping=kernel.mapping)
+        report.warnings.append(f"CFG construction failed: {exc}")
+        return report
+
+    interp = _Interp(global_arrays=frozenset(kernel.array_params))
+    seed = _seed_env(kernel)
+    ctx_map: dict[int, Variance] = dict.fromkeys(cfg.blocks, Variance.UNIFORM)
+    cd = cfg.control_dependence()
+
+    result = None
+    rounds = 0
+    for rounds in range(1, _MAX_CTX_ROUNDS + 1):
+        analysis = _VarianceAnalysis(cfg, interp, seed, ctx_map)
+        result = solve(cfg, analysis)
+        # recompute branch variances at block exits, then contexts
+        branch_var: dict[int, Variance] = {}
+        for bid, block in cfg.blocks.items():
+            env_exit = result.block_out[bid]
+            pre_ctx = ctx_map.get(bid, Variance.UNIFORM)
+            branch_var[bid] = _branch_variance(block, env_exit, interp, pre_ctx)
+        new_ctx: dict[int, Variance] = {}
+        for bid in cfg.blocks:
+            ctx = Variance.UNIFORM
+            for dep in cd.get(bid, ()):
+                ctx = ctx.join(branch_var.get(dep, Variance.UNIFORM))
+            # a loop body re-executes under its header's decision even
+            # when not strictly control-dependent on it post-rotation
+            new_ctx[bid] = ctx
+        for loop in cfg.loops:
+            hv = branch_var.get(loop.header, Variance.UNIFORM)
+            for bid in loop.body:
+                new_ctx[bid] = new_ctx[bid].join(hv)
+        if new_ctx == ctx_map:
+            break
+        ctx_map = new_ctx
+
+    assert result is not None
+    report = KernelFlowReport(kernel=kernel.name, mapping=kernel.mapping, rounds=rounds)
+
+    # -- final reporting pass: walk each block with its settled env ----
+    for bid in cfg.reachable():
+        block = cfg.blocks[bid]
+        env = result.block_in[bid]
+        if env is None:
+            continue
+        env = dict(env)
+        ctx = ctx_map.get(bid, Variance.UNIFORM)
+        for stmt in block.stmts:
+            _record_accesses(stmt, env, ctx, interp, kernel, report)
+            env = interp.exec_stmt(stmt, env, ctx)
+        node = block.branch_node
+        if isinstance(node, ast.For):
+            for sub in ast.walk(node.iter):
+                if isinstance(sub, ast.Subscript):
+                    _record_subscript(sub, "load", env, ctx, interp, kernel, report)
+            _, bound = interp.bind_loop_target(node, env, ctx)
+            report.loops.append(
+                LoopInfo(
+                    line=node.lineno,
+                    kind="for",
+                    bound_variance=bound.var,
+                    source=_src(node.iter),
+                )
+            )
+        elif isinstance(node, ast.While):
+            assert block.test is not None
+            for sub in ast.walk(block.test):
+                if isinstance(sub, ast.Subscript):
+                    _record_subscript(sub, "load", env, ctx, interp, kernel, report)
+            var = interp.eval(block.test, env, ctx).var
+            report.loops.append(
+                LoopInfo(
+                    line=node.lineno,
+                    kind="while",
+                    bound_variance=var,
+                    source=_src(block.test),
+                )
+            )
+        elif isinstance(node, ast.If):
+            assert block.test is not None
+            for sub in ast.walk(block.test):
+                if isinstance(sub, ast.Subscript):
+                    _record_subscript(sub, "load", env, ctx, interp, kernel, report)
+            var = interp.eval(block.test, env, ctx).var
+            report.branches.append(
+                BranchInfo(
+                    line=node.lineno,
+                    kind="if",
+                    variance=var,
+                    source=_src(block.test),
+                )
+            )
+
+    report.branches.sort(key=lambda b: b.line)
+    report.loops.sort(key=lambda lp: lp.line)
+    report.accesses.sort(key=lambda a: (a.line, a.array, a.kind))
+    report.warnings.extend(interp.warnings)
+    return report
+
+
+def _src(node: ast.AST, limit: int = 60) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _record_accesses(
+    stmt: ast.stmt,
+    env: Env,
+    ctx: Variance,
+    interp: _Interp,
+    kernel: DeviceKernel,
+    report: KernelFlowReport,
+) -> None:
+    store_roots: list[ast.Subscript] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for t in targets:
+            if isinstance(t, ast.Subscript):
+                store_roots.append(t)
+    stores = set(map(id, store_roots))
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.Subscript):
+            kind = "store" if id(sub) in stores else "load"
+            _record_subscript(sub, kind, env, ctx, interp, kernel, report)
+
+
+def _record_subscript(
+    sub: ast.Subscript,
+    kind: str,
+    env: Env,
+    ctx: Variance,
+    interp: _Interp,
+    kernel: DeviceKernel,
+    report: KernelFlowReport,
+) -> None:
+    if not isinstance(sub.value, ast.Name):
+        return
+    name = sub.value.id
+    local = env.get(name)
+    is_local = local is not None and local.array_content is not None
+    if not is_local and name not in kernel.array_params:
+        return
+    index = interp.eval(sub.slice, env, ctx)
+    report.accesses.append(
+        MemAccess(
+            array=name,
+            line=sub.lineno,
+            kind=kind,
+            space="local" if is_local else "global",
+            access=classify_index(index),
+            index_source=_src(sub.slice),
+        )
+    )
+
+
+def analyze_algorithm(algorithm: str, *, mapping: str = "thread") -> AlgorithmFlowReport:
+    """Analyze every device kernel one iteration of ``algorithm`` runs."""
+    from repro.coloring.device_kernels import kernels_for
+
+    reports = [analyze_kernel(k) for k in kernels_for(algorithm, mapping=mapping)]
+    return AlgorithmFlowReport(algorithm=algorithm, kernels=reports)

@@ -20,9 +20,14 @@ a determinism or correctness rationale that ruff/flake8 cannot express:
   immutable graph; a mutation would silently corrupt every other
   kernel sharing it.
 * ``RC004`` **bounded-traces** — no ``*.trace.append(...)`` /
-  ``trace.append(...)`` outside ``repro/obs``. Unbounded trace lists
-  were the pre-obs memory leak; all event retention goes through the
-  bounded sinks in :mod:`repro.obs.sink`.
+  ``trace.append(...)`` *inside a loop* outside ``repro/obs``.
+  Unbounded trace lists were the pre-obs memory leak; all event
+  retention goes through the bounded sinks in :mod:`repro.obs.sink`.
+  The rule is loop-context-aware: it walks each scope's control-flow
+  graph (:mod:`repro.check.flow.cfg`, tolerant mode) and only flags
+  appends whose statement sits at loop depth ≥ 1 — a straight-line
+  append runs once and is bounded by construction. When a scope's CFG
+  cannot be built the rule falls back to flagging (conservative).
 
 Suppress a finding with an inline ``# check: allow(RCnnn)`` comment.
 """
@@ -32,6 +37,8 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
+
+from .flow.cfg import build_cfg
 
 __all__ = [
     "RULES",
@@ -46,7 +53,7 @@ RULES: dict[str, str] = {
     "RC001": "unseeded np.random.* call — use a seeded np.random.Generator",
     "RC002": "wall-clock read inside the simulated-cycle domain (gpusim/coloring)",
     "RC003": "mutation of CSR arrays (indptr/indices) inside kernel code",
-    "RC004": "unbounded trace-list append outside the repro.obs sinks",
+    "RC004": "trace-list append inside a loop outside the repro.obs sinks",
 }
 
 #: np.random entry points that take (or wrap) an explicit seed — calls
@@ -112,11 +119,56 @@ def _suppressed(source_lines: list[str], line: int, rule: str) -> bool:
     return f"check: allow({rule})" in text
 
 
+def _loop_depths(tree: ast.Module) -> dict[int, int]:
+    """Loop-nesting depth of every AST node, keyed by node identity.
+
+    Builds a tolerant-mode CFG per scope (the module, then every
+    function, outer before inner so inner scopes overwrite with their
+    own — more accurate — depths) and spreads each statement's depth
+    over its expression subtree. Depth counts loops of the *enclosing
+    scope only*: a helper that appends once but is called from a loop
+    is out of scope for a per-module lint.
+    """
+    depths: dict[int, int] = {}
+    scopes: list[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef] = [tree]
+    scopes += [
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for scope in scopes:
+        try:
+            cfg = build_cfg(scope, strict=False)
+        except Exception:  # pragma: no cover — tolerant mode shouldn't raise
+            continue
+        depth = cfg.loop_depth()
+        for bid, block in cfg.blocks.items():
+            roots: list[ast.AST] = list(block.stmts)
+            node = block.branch_node
+            if isinstance(node, ast.For):
+                roots.append(node.iter)
+            elif node is not None:
+                test = getattr(node, "test", None)
+                if test is not None:
+                    roots.append(test)
+            for root in roots:
+                for sub in ast.walk(root):
+                    depths[id(sub)] = depth[bid]
+    return depths
+
+
 class _Checker(ast.NodeVisitor):
-    def __init__(self, path: str, in_sim_domain: bool, in_obs: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        in_sim_domain: bool,
+        in_obs: bool,
+        loop_depths: dict[int, int] | None = None,
+    ) -> None:
         self.path = path
         self.in_sim_domain = in_sim_domain
         self.in_obs = in_obs
+        self.loop_depths = loop_depths if loop_depths is not None else {}
         self.violations: list[LintViolation] = []
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
@@ -223,11 +275,16 @@ class _Checker(ast.NodeVisitor):
         if self.in_obs:
             return
         if len(chain) >= 2 and chain[-1] == "append" and chain[-2] == "trace":
+            # loop-context-aware: a straight-line append runs once and
+            # is bounded; only appends reachable per loop iteration
+            # grow without bound. Unknown depth (no CFG) flags.
+            if self.loop_depths.get(id(node), 1) < 1:
+                return
             self._flag(
                 "RC004",
                 node,
-                f"{'.'.join(chain)}(...) grows an unbounded trace list; "
-                "emit through a bounded repro.obs sink instead",
+                f"{'.'.join(chain)}(...) grows a trace list once per loop "
+                "iteration; emit through a bounded repro.obs sink instead",
             )
 
     # -- dispatch -------------------------------------------------------
@@ -273,7 +330,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
             )
         ]
     in_sim, in_obs = _domain_flags(path)
-    checker = _Checker(path, in_sim, in_obs)
+    checker = _Checker(path, in_sim, in_obs, loop_depths=_loop_depths(tree))
     checker.visit(tree)
     lines = source.splitlines()
     return [

@@ -41,6 +41,7 @@ __all__ = [
     "Issue",
     "Report",
     "CheckFailedError",
+    "MAXMIN_FAMILY",
     "validate_coloring",
     "validate_csr",
     "validate_dispatch",
@@ -50,6 +51,12 @@ __all__ = [
 
 #: float-comparison slack for cycle timestamps (cursor arithmetic).
 _EPS = 1e-6
+
+#: ``ColoringResult.algorithm`` values of the max-min family: two
+#: independent sets (colors ``2k``/``2k + 1``) per round, so the palette
+#: bound is ``max(max_degree + 1, 2 * rounds)`` — the first-fit
+#: ``max_degree + 1`` alone does not hold on adversarial inputs.
+MAXMIN_FAMILY = frozenset({"maxmin", "edge-centric-maxmin", "hybrid-switch"})
 
 
 class CheckFailedError(AssertionError):
@@ -134,15 +141,22 @@ def validate_coloring(
     colors: np.ndarray,
     *,
     allow_uncolored: bool = False,
+    max_colors: int | None = None,
     max_examples: int = 5,
 ) -> Report:
     """Validate a claimed coloring against ``graph``.
 
     Checks: array shape; no color below the ``UNCOLORED`` sentinel;
     completeness (unless ``allow_uncolored``); no monochromatic edge;
-    the greedy bound (a first-fit family algorithm can never need more
-    than ``max_degree + 1`` colors); density of the used color range
-    (gaps are a warning — legal, but no bundled algorithm produces them).
+    the palette bound; density of the used color range (gaps are a
+    warning — legal, but no bundled algorithm produces them).
+
+    ``max_colors`` overrides the default palette bound of
+    ``max_degree + 1``. The default is the first-fit-family guarantee
+    (jp, speculative, partitioned); the max-min family spends two colors
+    per round, so its true bound is ``max(max_degree + 1, 2 * rounds)``
+    and can exceed the default on adversarial inputs (e.g. a
+    descending-priority path).
     """
     rep = Report(subject="coloring")
     arr = np.asarray(colors)
@@ -189,11 +203,12 @@ def validate_coloring(
 
     used = np.unique(arr[arr != UNCOLORED])
     rep.passed()
-    bound = graph.max_degree + 1
+    bound = graph.max_degree + 1 if max_colors is None else int(max_colors)
+    label = "max_degree + 1" if max_colors is None else "max_colors"
     if used.size > bound:
         rep.error(
             "coloring.bound",
-            f"{used.size} colors used, exceeds max_degree + 1 = {bound}",
+            f"{used.size} colors used, exceeds {label} = {bound}",
             colors=int(used.size),
             bound=bound,
         )
@@ -494,7 +509,15 @@ def validate_run(
     """
     rep = Report(subject=f"run:{result.algorithm}")
     rep.merge(validate_csr(graph))
-    rep.merge(validate_coloring(graph, result.colors, allow_uncolored=allow_uncolored))
+    bound = None
+    if result.algorithm in MAXMIN_FAMILY:
+        bound = max(graph.max_degree + 1, 2 * len(result.iterations))
+    rep.merge(
+        validate_coloring(
+            graph, result.colors,
+            allow_uncolored=allow_uncolored, max_colors=bound,
+        )
+    )
     rep.merge(_result_consistency(graph, result))
     if events is not None:
         dev = device if device is not None else result.device

@@ -23,6 +23,7 @@ is expected.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -261,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_val.add_argument("--scale", choices=SCALES, default="small")
     c_val.add_argument("--device", default="hd7950")
     c_val.add_argument("--seed", type=int, default=0)
+    c_val.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     c_races = check_sub.add_parser(
         "races", help="simulated-race detector over algorithm replays"
@@ -283,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_races.add_argument(
         "--details", action="store_true", help="print every finding"
     )
+    c_races.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     c_lint = check_sub.add_parser("lint", help="repo-specific AST lint pass")
     c_lint.add_argument(
@@ -291,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_lint.add_argument(
         "--explain", action="store_true", help="print the rule catalogue and exit"
     )
+    c_lint.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     c_gold = check_sub.add_parser(
         "golden", help="golden run digests and drift detection"
@@ -305,6 +309,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c_gold.add_argument("--scale", choices=SCALES, default="tiny")
     c_gold.add_argument("--seed", type=int, default=0)
+    c_gold.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    c_flow = check_sub.add_parser(
+        "flow",
+        help="static dataflow analysis: divergence, coalescing, imbalance",
+    )
+    c_flow.add_argument(
+        "--algorithm",
+        "-a",
+        default="all",
+        choices=["all"] + sorted(GPU_ALGORITHMS),
+        help="'all' analyzes every GPU algorithm's kernels",
+    )
+    c_flow.add_argument(
+        "--graph",
+        "-g",
+        default=None,
+        help="suite dataset or graph file: adds a static imbalance "
+        "prediction per algorithm (omit for classification only)",
+    )
+    c_flow.add_argument("--scale", choices=SCALES, default="small")
+    c_flow.add_argument(
+        "--mapping",
+        choices=("thread", "wavefront"),
+        default="thread",
+        help="which device-kernel mapping to analyze",
+    )
+    c_flow.add_argument("--json", action="store_true", help="emit JSON to stdout")
     return parser
 
 
@@ -646,15 +678,23 @@ def _cmd_check_validate(args: argparse.Namespace) -> int:
         )
         if not report.ok:
             failed += 1
-            print(report.summary())
-            print()
-    print(
-        format_table(
-            rows,
-            title=f"{name}: invariant validation "
-            f"({args.mapping}/{args.schedule}, seed {args.seed})",
+            if not args.json:
+                print(report.summary())
+                print()
+    if args.json:
+        print(
+            json.dumps(
+                {"graph": name, "results": rows, "ok": failed == 0}, indent=2
+            )
         )
-    )
+    else:
+        print(
+            format_table(
+                rows,
+                title=f"{name}: invariant validation "
+                f"({args.mapping}/{args.schedule}, seed {args.seed})",
+            )
+        )
     return 1 if failed else 0
 
 
@@ -672,6 +712,7 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
             f"known: {', '.join(sorted(RACE_SCANNERS))} or 'all'"
         )
     failed = 0
+    scans = []
     for algo in algorithms:
         scan = scan_algorithm_races(
             graph,
@@ -679,14 +720,30 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
             seed=args.seed,
             wavefront_size=args.wavefront_size,
         )
-        print(f"{name}: {scan.summary()}")
-        if args.details:
-            for f in scan.findings:
-                print(f"    {f.describe()}")
-        if scan.truncated:
-            print(f"    (per-array finding cap hit; omitted: {scan.truncated})")
+        if args.json:
+            scans.append(
+                {
+                    "algorithm": scan.algorithm,
+                    "ok": scan.ok,
+                    "findings": len(scan.findings),
+                    "unexpected": len(scan.unexpected),
+                    "racy_arrays": scan.racy_arrays,
+                    "total_accesses": scan.total_accesses,
+                }
+            )
+        else:
+            print(f"{name}: {scan.summary()}")
+            if args.details:
+                for f in scan.findings:
+                    print(f"    {f.describe()}")
+            if scan.truncated:
+                print(f"    (per-array finding cap hit; omitted: {scan.truncated})")
         if not scan.ok:
             failed += 1
+    if args.json:
+        print(
+            json.dumps({"graph": name, "scans": scans, "ok": failed == 0}, indent=2)
+        )
     return 1 if failed else 0
 
 
@@ -694,16 +751,40 @@ def _cmd_check_lint(args: argparse.Namespace) -> int:
     from .check.lint import RULES, lint_paths
 
     if args.explain:
-        for rule, desc in sorted(RULES.items()):
-            print(f"{rule}: {desc}")
+        if args.json:
+            print(json.dumps({"rules": RULES}, indent=2))
+        else:
+            for rule, desc in sorted(RULES.items()):
+                print(f"{rule}: {desc}")
         return 0
     violations = lint_paths(tuple(args.paths))
-    for v in violations:
-        print(v)
     n_files = sum(
         len(list(Path(p).rglob("*.py"))) if Path(p).is_dir() else 1
         for p in args.paths
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files": n_files,
+                    "ok": not violations,
+                    "violations": [
+                        {
+                            "rule": v.rule,
+                            "path": v.path,
+                            "line": v.line,
+                            "col": v.col,
+                            "message": v.message,
+                        }
+                        for v in violations
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 1 if violations else 0
+    for v in violations:
+        print(v)
     status = "clean" if not violations else f"{len(violations)} violations"
     print(f"repro lint: {n_files} files, {status}")
     return 1 if violations else 0
@@ -728,8 +809,91 @@ def _cmd_check_golden(args: argparse.Namespace) -> int:
             f"error: no baseline at {baseline_path}; create one with --write"
         )
     report = check_drift(load_golden(baseline_path), current)
-    print(report.summary())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "matched": report.matched,
+                    "drifted": report.drifted,
+                    "missing": report.missing,
+                    "extra": report.extra,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_check_flow(args: argparse.Namespace) -> int:
+    from .check.flow import analyze_algorithm, predict_imbalance
+
+    algorithms = (
+        sorted(GPU_ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    )
+    graph = graph_name = None
+    if args.graph is not None:
+        graph, graph_name = _resolve_graph(args.graph, args.scale)
+
+    payload = []
+    unknown = 0
+    for algo in algorithms:
+        try:
+            report = analyze_algorithm(algo, mapping=args.mapping)
+        except KeyError:
+            # not every algorithm has kernels under every mapping
+            if not args.json:
+                print(f"{algo}: no {args.mapping}-mapping kernels (skipped)")
+            continue
+        entry = report.to_dict()
+        unknown += len(report.unknown_branches)
+        if graph is not None:
+            pred = predict_imbalance(algo, graph.degrees, mapping=args.mapping)
+            entry["prediction"] = pred.to_dict()
+        payload.append((report, entry))
+
+    if args.json:
+        doc: dict[str, object] = {
+            "mapping": args.mapping,
+            "algorithms": [entry for _, entry in payload],
+            "unknown_branches": unknown,
+            "ok": unknown == 0,
+        }
+        if graph_name is not None:
+            doc["graph"] = graph_name
+            doc["scale"] = args.scale
+        print(json.dumps(doc, indent=2))
+        return 1 if unknown else 0
+
+    for report, entry in payload:
+        print(f"flow:{report.algorithm} ({args.mapping} mapping)")
+        for k in report.kernels:
+            s = k.to_dict()["summary"]
+            print(
+                f"  {k.kernel}: {s['num_branches']} branches "
+                f"({s['divergent_branches']} divergent, "
+                f"{s['unknown_branches']} unknown), "
+                f"{s['num_loops']} loops ({s['divergent_loops']} divergent), "
+                f"{s['coalesced']}/{s['global_accesses']} global accesses "
+                f"coalesced, {s['scattered']} scattered"
+            )
+            for lp in k.divergent_loops:
+                print(f"    divergent loop L{lp.line}: {lp.source}")
+            for w in k.warnings:
+                print(f"    warning: {w}")
+        pred_entry = entry.get("prediction")
+        if pred_entry is not None:
+            print(
+                f"  predicted on {graph_name}: "
+                f"imbalance {pred_entry['imbalance_factor']:.2f}, "
+                f"SIMD efficiency {pred_entry['simd_efficiency']:.3f}, "
+                f"wavefront CV {pred_entry['wavefront_cv']:.2f}"
+            )
+    status = "ok" if unknown == 0 else f"{unknown} unknown-variance branches"
+    print(f"repro flow: {len(payload)} algorithms analyzed, {status}")
+    return 1 if unknown else 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -738,6 +902,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "races": _cmd_check_races,
         "lint": _cmd_check_lint,
         "golden": _cmd_check_golden,
+        "flow": _cmd_check_flow,
     }
     return handlers[args.check_command](args)
 

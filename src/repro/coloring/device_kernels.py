@@ -1,0 +1,366 @@
+"""Per-thread SIMT device-kernel specs for the GPU coloring algorithms.
+
+The algorithm modules in this package are *vectorized* numpy programs —
+fast hosts for the simulator, but opaque to static analysis: a
+``neighbor_max`` call hides the divergent degree loop every real GPU
+kernel pays for. This module states each algorithm's kernels in the
+form the hardware actually executes: one Python function per kernel,
+written per-thread (OpenCL/CUDA style), over raw CSR arrays.
+
+They serve two masters:
+
+* :mod:`repro.check.flow` parses their ASTs to classify every branch,
+  loop bound, and memory subscript (uniform/divergent,
+  coalesced/strided/scattered) and to derive the static per-thread
+  work model that predicts load imbalance before a run.
+* The test suite *executes* them, one thread at a time, against the
+  vectorized implementations — the spec cannot drift from the code it
+  describes.
+
+Kernel conventions (what the analyzer assumes):
+
+* ``tid`` is the global thread id (one thread per vertex or per
+  directed edge); ``wid``/``lane`` are the wavefront id and intra-
+  wavefront lane of cooperative kernels.
+* Kernels read input arrays and write *separate* output arrays
+  (``colors_in``/``colors_out``), making one launch a pure function of
+  its inputs — the same snapshot semantics the vectorized sweeps use.
+* Scalars listed in ``uniform_params`` are launch constants (uniform
+  across threads); every other non-id parameter is a global-memory
+  array.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .base import UNCOLORED
+
+__all__ = [
+    "DeviceKernel",
+    "DEVICE_KERNELS",
+    "KERNEL_ALGORITHMS",
+    "device_kernel",
+    "kernels_for",
+    "kernel_ast",
+]
+
+#: thread-identity parameter names and the variance they seed.
+THREAD_ID_PARAMS = ("tid", "lane")
+WAVEFRONT_ID_PARAMS = ("wid",)
+
+
+@dataclass(frozen=True)
+class DeviceKernel:
+    """One registered device kernel: the function plus its launch facts."""
+
+    name: str
+    fn: Callable[..., None]
+    algorithms: tuple[str, ...]
+    mapping: str  # "thread" | "wavefront"
+    grid: str  # what a thread is: "vertex" | "edge" | "vertex-wavefront"
+    uniform_params: tuple[str, ...] = ()
+    notes: str = ""
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return tuple(inspect.signature(self.fn).parameters)
+
+    @property
+    def array_params(self) -> tuple[str, ...]:
+        """Global-memory array parameters (everything but ids + uniforms)."""
+        skip = set(self.uniform_params) | set(THREAD_ID_PARAMS) | set(WAVEFRONT_ID_PARAMS)
+        return tuple(p for p in self.params if p not in skip)
+
+
+#: kernel name → spec, in registration order.
+DEVICE_KERNELS: dict[str, DeviceKernel] = {}
+
+#: the GPU algorithm names the registry covers (must stay in sync with
+#: ``repro.harness.runner.GPU_ALGORITHMS``).
+KERNEL_ALGORITHMS = (
+    "maxmin",
+    "jp",
+    "speculative",
+    "hybrid-switch",
+    "edge-centric",
+    "partitioned",
+)
+
+
+def device_kernel(
+    *,
+    algorithms: tuple[str, ...],
+    mapping: str = "thread",
+    grid: str = "vertex",
+    uniform_params: tuple[str, ...] = (),
+    notes: str = "",
+) -> Callable[[Callable[..., None]], Callable[..., None]]:
+    """Register a per-thread kernel spec under its algorithms."""
+
+    def register(fn: Callable[..., None]) -> Callable[..., None]:
+        spec = DeviceKernel(
+            name=fn.__name__,
+            fn=fn,
+            algorithms=algorithms,
+            mapping=mapping,
+            grid=grid,
+            uniform_params=uniform_params,
+            notes=notes,
+        )
+        DEVICE_KERNELS[spec.name] = spec
+        return fn
+
+    return register
+
+
+def kernels_for(algorithm: str, *, mapping: str = "thread") -> tuple[DeviceKernel, ...]:
+    """The kernel specs one iteration of ``algorithm`` launches."""
+    found = tuple(
+        k
+        for k in DEVICE_KERNELS.values()
+        if algorithm in k.algorithms and k.mapping == mapping
+    )
+    if not found:
+        known = sorted({a for k in DEVICE_KERNELS.values() for a in k.algorithms})
+        raise KeyError(
+            f"no {mapping!r}-mapping device kernels for {algorithm!r}; known: {known}"
+        )
+    return found
+
+
+def kernel_ast(kernel: DeviceKernel) -> ast.FunctionDef:
+    """The kernel function's (dedented) AST — the analyzer's input."""
+    source = textwrap.dedent(inspect.getsource(kernel.fn))
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise ValueError(f"no function definition found for kernel {kernel.name}")
+
+
+# ----------------------------------------------------------------------
+# max-min (the paper's Pannotia baseline) — also phase 1 of the
+# algorithm-switch hybrid
+# ----------------------------------------------------------------------
+
+
+@device_kernel(
+    algorithms=("maxmin", "hybrid-switch"),
+    uniform_params=("round_k",),
+    notes="two independent sets per sweep: local maxima take 2k, minima 2k+1",
+)
+def maxmin_sweep(tid, indptr, indices, priorities, colors_in, colors_out, round_k):
+    """One max-min sweep for vertex ``tid`` (thread-per-vertex)."""
+    if colors_in[tid] != UNCOLORED:
+        return
+    my_priority = priorities[tid]
+    start = indptr[tid]
+    end = indptr[tid + 1]
+    is_max = True
+    is_min = True
+    for e in range(start, end):  # divergent: trip count = degree(tid)
+        u = indices[e]
+        if colors_in[u] != UNCOLORED:
+            continue
+        other = priorities[u]
+        if other > my_priority:
+            is_max = False
+        if other < my_priority:
+            is_min = False
+    if is_max:
+        colors_out[tid] = 2 * round_k
+    elif is_min:
+        colors_out[tid] = 2 * round_k + 1
+
+
+@device_kernel(
+    algorithms=("maxmin",),
+    mapping="wavefront",
+    grid="vertex-wavefront",
+    uniform_params=("round_k", "wavefront_size"),
+    notes="cooperative variant: 64 lanes stride one neighbor list",
+)
+def maxmin_wavefront_sweep(
+    wid,
+    lane,
+    indptr,
+    indices,
+    priorities,
+    colors_in,
+    colors_out,
+    scratch_max,
+    scratch_min,
+    round_k,
+    wavefront_size,
+):
+    """Wavefront-cooperative max-min: wavefront ``wid`` owns vertex ``wid``.
+
+    Lanes stride the neighbor list cooperatively (coalesced), fold
+    their partial extrema into per-lane scratch, and reduce log-depth.
+    The branch on the owner's color is *wavefront*-varying — every lane
+    of the wavefront agrees — so it costs no intra-wavefront divergence.
+    """
+    if colors_in[wid] != UNCOLORED:  # wavefront-varying, not divergent
+        return
+    my_priority = priorities[wid]
+    start = indptr[wid]
+    end = indptr[wid + 1]
+    lane_max = my_priority
+    lane_min = my_priority
+    for e in range(start + lane, end, wavefront_size):  # coalesced stride
+        u = indices[e]
+        if colors_in[u] != UNCOLORED:
+            continue
+        other = priorities[u]
+        if other > lane_max:
+            lane_max = other
+        if other < lane_min:
+            lane_min = other
+    scratch_max[lane] = lane_max
+    scratch_min[lane] = lane_min
+    for step in (32, 16, 8, 4, 2, 1):  # uniform log-depth reduction
+        if lane < step:
+            if scratch_max[lane + step] > scratch_max[lane]:
+                scratch_max[lane] = scratch_max[lane + step]
+            if scratch_min[lane + step] < scratch_min[lane]:
+                scratch_min[lane] = scratch_min[lane + step]
+    if lane == 0:
+        if scratch_max[0] <= my_priority:
+            colors_out[wid] = 2 * round_k
+        elif scratch_min[0] >= my_priority:
+            colors_out[wid] = 2 * round_k + 1
+
+
+# ----------------------------------------------------------------------
+# Jones–Plassmann
+# ----------------------------------------------------------------------
+
+
+@device_kernel(
+    algorithms=("jp",),
+    notes="independent-set winners take the smallest color absent around them",
+)
+def jp_sweep(tid, indptr, indices, priorities, colors_in, colors_out):
+    """One JP round for vertex ``tid``: win the neighborhood, first-fit."""
+    if colors_in[tid] != UNCOLORED:
+        return
+    my_priority = priorities[tid]
+    start = indptr[tid]
+    end = indptr[tid + 1]
+    degree = end - start
+    wins = True
+    for e in range(start, end):  # divergent: trip count = degree(tid)
+        u = indices[e]
+        if colors_in[u] == UNCOLORED and priorities[u] > my_priority:
+            wins = False
+    if wins:
+        forbidden = [False] * (degree + 1)  # private array, degree-sized
+        for e in range(start, end):
+            c = colors_in[indices[e]]
+            if c != UNCOLORED and c <= degree:
+                forbidden[c] = True
+        chosen = degree
+        for c in range(degree + 1):  # divergent: pigeonhole bound = degree+1
+            if not forbidden[c]:
+                chosen = c
+                break
+        colors_out[tid] = chosen
+
+
+# ----------------------------------------------------------------------
+# speculative first-fit (Gebremedhin–Manne) — also the hybrid-switch
+# tail and both phases of partitioned coloring
+# ----------------------------------------------------------------------
+
+
+@device_kernel(
+    algorithms=("speculative", "hybrid-switch", "partitioned"),
+    notes="optimistic first-fit against the snapshot; conflicts resolve later",
+)
+def spec_assign(tid, indptr, indices, colors_in, colors_out):
+    """Speculatively first-fit color vertex ``tid`` against the snapshot."""
+    if colors_in[tid] != UNCOLORED:
+        return
+    start = indptr[tid]
+    end = indptr[tid + 1]
+    degree = end - start
+    forbidden = [False] * (degree + 1)
+    for e in range(start, end):  # divergent: trip count = degree(tid)
+        c = colors_in[indices[e]]
+        if c != UNCOLORED and c <= degree:
+            forbidden[c] = True
+    chosen = degree
+    for c in range(degree + 1):
+        if not forbidden[c]:
+            chosen = c
+            break
+    colors_out[tid] = chosen
+
+
+@device_kernel(
+    algorithms=("speculative", "hybrid-switch", "partitioned"),
+    notes="monochromatic edges uncolor their lower-priority endpoint",
+)
+def spec_detect(tid, indptr, indices, priorities, colors_in, colors_out):
+    """Uncolor vertex ``tid`` if a higher-priority neighbor shares its color."""
+    my_color = colors_in[tid]
+    if my_color == UNCOLORED:
+        return
+    my_priority = priorities[tid]
+    start = indptr[tid]
+    end = indptr[tid + 1]
+    for e in range(start, end):  # divergent: trip count = degree(tid)
+        u = indices[e]
+        if colors_in[u] == my_color and my_priority < priorities[u]:
+            colors_out[tid] = UNCOLORED
+
+
+# ----------------------------------------------------------------------
+# edge-centric max-min — uniform O(1) items by construction
+# ----------------------------------------------------------------------
+
+
+@device_kernel(
+    algorithms=("edge-centric",),
+    grid="edge",
+    notes="one thread per directed edge; atomic max/min fold into the owner",
+)
+def ec_edge_fold(tid, edge_u, edge_v, priorities, colors_in, acc_max, acc_min):
+    """Fold one directed edge's far-endpoint priority into its owner.
+
+    No loops: every work item is O(1) — the formulation that trades
+    divergence for per-edge atomics. The endpoint loads are coalesced
+    (edge arrays indexed by ``tid``); the accumulator folds scatter.
+    """
+    owner = edge_u[tid]
+    other = edge_v[tid]
+    if colors_in[owner] != UNCOLORED:
+        return
+    if colors_in[other] != UNCOLORED:
+        return
+    p = priorities[other]
+    if p > acc_max[owner]:
+        acc_max[owner] = p  # atomic max (scattered)
+    if p < acc_min[owner]:
+        acc_min[owner] = p  # atomic min (scattered)
+
+
+@device_kernel(
+    algorithms=("edge-centric",),
+    uniform_params=("round_k",),
+    notes="O(1) per-vertex decision against the folded accumulators",
+)
+def ec_decide(tid, priorities, colors_in, colors_out, acc_max, acc_min, round_k):
+    """Color vertex ``tid`` from its folded neighborhood extrema."""
+    if colors_in[tid] != UNCOLORED:
+        return
+    my_priority = priorities[tid]
+    if my_priority > acc_max[tid]:
+        colors_out[tid] = 2 * round_k
+    elif my_priority < acc_min[tid]:
+        colors_out[tid] = 2 * round_k + 1

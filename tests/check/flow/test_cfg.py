@@ -1,0 +1,381 @@
+"""Unit tests for CFG construction and graph facts (repro.check.flow.cfg)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.check.flow.cfg import UnsupportedConstructError, build_cfg
+
+
+def cfg_of(src: str, **kwargs):
+    tree = ast.parse(textwrap.dedent(src))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn, **kwargs)
+
+
+def block_of(cfg, fragment: str):
+    """The unique block containing a statement whose source has ``fragment``."""
+    hits = [
+        b
+        for b in cfg.blocks.values()
+        if any(fragment in ast.unparse(s) for s in b.stmts)
+    ]
+    assert len(hits) == 1, f"{fragment!r} matched {len(hits)} blocks"
+    return hits[0]
+
+
+def branch_blocks(cfg):
+    return [b for b in cfg.blocks.values() if b.is_branch]
+
+
+class TestConstruction:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of(
+            """
+            def f(a):
+                x = a + 1
+                y = x * 2
+                return y
+            """
+        )
+        body = block_of(cfg, "x = a + 1")
+        assert [ast.unparse(s) for s in body.stmts] == [
+            "x = a + 1",
+            "y = x * 2",
+            "return y",
+        ]
+        assert body.succs == [cfg.exit]
+        assert cfg.name == "f"
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        (branch,) = branch_blocks(cfg)
+        assert ast.unparse(branch.test) == "c"
+        then_b = block_of(cfg, "x = 1")
+        else_b = block_of(cfg, "x = 2")
+        # successor order is significant: [0] true edge, [1] false edge
+        assert branch.succs == [then_b.bid, else_b.bid]
+        join = block_of(cfg, "return x")
+        assert set(then_b.succs) == set(else_b.succs) == {join.bid}
+
+    def test_return_edges_to_exit(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    return 1
+                return 2
+            """
+        )
+        assert cfg.exit in block_of(cfg, "return 1").succs
+        assert cfg.exit in block_of(cfg, "return 2").succs
+
+    def test_for_loop_membership(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                total = 0
+                for i in range(n):
+                    total = total + i
+                return total
+            """
+        )
+        (loop,) = cfg.loops
+        body_b = block_of(cfg, "total = total + i")
+        assert body_b.bid in loop.body
+        assert isinstance(loop.node, ast.For)
+        header = cfg.blocks[loop.header]
+        # the loop header decides loop-vs-exit: two successors
+        assert header.is_branch and header.branch_node is loop.node
+        # back edge: body flows to the header
+        assert loop.header in body_b.succs
+
+    def test_while_loop_test_on_header(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n > 0:
+                    n = n - 1
+                return n
+            """
+        )
+        (loop,) = cfg.loops
+        header = cfg.blocks[loop.header]
+        assert ast.unparse(header.test) == "n > 0"
+        assert isinstance(loop.node, ast.While)
+
+    def test_break_edge_leaves_loop(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                for i in range(n):
+                    if i > 3:
+                        break
+                    x = i
+                return 0
+            """
+        )
+        (loop,) = cfg.loops
+        # the break block's successor lies outside the loop
+        break_blocks = [
+            b
+            for b in cfg.blocks.values()
+            if b.bid in loop.body and any(s not in loop.blocks for s in b.succs)
+        ]
+        assert break_blocks
+        assert block_of(cfg, "x = i").bid in loop.body
+
+    def test_continue_edge_returns_to_header(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                for i in range(n):
+                    if i > 3:
+                        continue
+                    x = i
+            """
+        )
+        (loop,) = cfg.loops
+        # some body block jumps straight back to the header (the continue)
+        guards = [b for b in cfg.blocks.values() if b.bid in loop.body and b.is_branch]
+        (guard,) = guards
+        cont_bid = guard.succs[0]
+        assert loop.header in cfg.blocks[cont_bid].succs
+
+    def test_break_outside_loop_rejected(self):
+        src = ast.parse("break", mode="exec").body
+        with pytest.raises(UnsupportedConstructError):
+            build_cfg(src)
+
+    def test_module_and_stmt_list_inputs(self):
+        tree = ast.parse("x = 1\ny = x\n")
+        assert build_cfg(tree).name == "<module>"
+        assert build_cfg(tree.body).name == "<stmts>"
+
+
+class TestDominance:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        dom = cfg.dominators()
+        for bid in cfg.reachable():
+            assert cfg.entry in dom[bid]
+
+    def test_branch_does_not_dominate_only_one_arm(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                y = 2
+                return y
+            """
+        )
+        dom = cfg.dominators()
+        (branch,) = branch_blocks(cfg)
+        then_b = block_of(cfg, "x = 1")
+        join = block_of(cfg, "y = 2")
+        assert branch.bid in dom[then_b.bid]
+        assert then_b.bid not in dom[join.bid]  # join reachable around it
+        assert branch.bid in dom[join.bid]
+
+    def test_immediate_postdominator_of_diamond_is_join(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        (branch,) = branch_blocks(cfg)
+        join = block_of(cfg, "return x")
+        assert cfg.immediate_postdominators()[branch.bid] == join.bid
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                for i in range(n):
+                    x = i
+                return 0
+            """
+        )
+        order = cfg.reachable()
+        assert order[0] == cfg.entry
+        assert len(order) == len(set(order))
+
+
+class TestControlDependence:
+    def test_diamond_arms_depend_on_branch(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        cd = cfg.control_dependence()
+        (branch,) = branch_blocks(cfg)
+        assert branch.bid in cd[block_of(cfg, "x = 1").bid]
+        assert branch.bid in cd[block_of(cfg, "x = 2").bid]
+        assert branch.bid not in cd[block_of(cfg, "return x").bid]
+
+    def test_early_return_makes_tail_dependent(self):
+        # the statements after ``if c: return`` only run when the branch
+        # is false — they ARE control-dependent on it (the pattern every
+        # device kernel's colored-guard uses).
+        cfg = cfg_of(
+            """
+            def f(c, x):
+                if c:
+                    return 0
+                x = x + 1
+                return x
+            """
+        )
+        cd = cfg.control_dependence()
+        (branch,) = branch_blocks(cfg)
+        tail = block_of(cfg, "x = x + 1")
+        assert branch.bid in cd[tail.bid]
+
+    def test_loop_body_depends_on_header(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n > 0:
+                    n = n - 1
+                return n
+            """
+        )
+        cd = cfg.control_dependence()
+        (loop,) = cfg.loops
+        body_b = block_of(cfg, "n = n - 1")
+        assert loop.header in cd[body_b.bid]
+
+
+class TestLoops:
+    def test_loop_depth_nesting(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                a = 0
+                for i in range(n):
+                    b = i
+                    for j in range(i):
+                        c = j
+                d = 1
+            """
+        )
+        assert len(cfg.loops) == 2
+        depth = cfg.loop_depth()
+        assert depth[block_of(cfg, "a = 0").bid] == 0
+        assert depth[block_of(cfg, "b = i").bid] == 1
+        assert depth[block_of(cfg, "c = j").bid] == 2
+        assert depth[block_of(cfg, "d = 1").bid] == 0
+
+    def test_statement_loop_depth(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                a = 0
+                for i in range(n):
+                    b = i
+            """
+        )
+        sdepth = cfg.statement_loop_depth()
+        by_src = {ast.unparse(s).splitlines()[0]: d for s, d in sdepth.items()}
+        assert by_src["a = 0"] == 0
+        assert by_src["b = i"] == 1
+        # the loop header itself counts loops *around* it, not itself
+        assert by_src["for i in range(n):"] == 0
+
+
+class TestStrictVsTolerant:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "def f():\n    with open('x') as fh:\n        pass\n",
+            "def f():\n    try:\n        x = 1\n    except ValueError:\n        x = 2\n",
+            "def f(v):\n    match v:\n        case 1:\n            pass\n",
+            "def f():\n    import os\n",
+            "def f():\n    def g():\n        pass\n",
+        ],
+    )
+    def test_strict_rejects_non_kernel_dialect(self, src):
+        with pytest.raises(UnsupportedConstructError):
+            cfg_of(src, strict=True)
+
+    def test_tolerant_inlines_with_body(self):
+        cfg = cfg_of(
+            """
+            def f():
+                with lock:
+                    x = 1
+                return x
+            """,
+            strict=False,
+        )
+        assert block_of(cfg, "x = 1") is not None
+
+    def test_tolerant_try_handlers_branch(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    x = 1
+                except ValueError:
+                    x = 2
+                return x
+            """,
+            strict=False,
+        )
+        assert block_of(cfg, "x = 2") is not None
+        # loop depth still works on the approximated graph
+        assert set(cfg.loop_depth().values()) == {0}
+
+    def test_tolerant_loop_depth_inside_with(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                with lock:
+                    for it in items:
+                        x = it
+            """,
+            strict=False,
+        )
+        # match the Assign node itself — the opaque With statement's
+        # unparse also contains the text, but in a depth-0 block
+        (bid,) = [
+            b.bid
+            for b in cfg.blocks.values()
+            for s in b.stmts
+            if isinstance(s, ast.Assign) and ast.unparse(s) == "x = it"
+        ]
+        assert cfg.loop_depth()[bid] == 1

@@ -1,0 +1,193 @@
+"""Unit tests for the worklist solver and its clients (repro.check.flow.dataflow)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.check.flow.cfg import build_cfg
+from repro.check.flow.dataflow import (
+    LiveVariables,
+    ReachingDefinitions,
+    assigned_names,
+    read_names,
+    solve,
+)
+
+
+def cfg_of(src: str):
+    tree = ast.parse(textwrap.dedent(src))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn), tuple(a.arg for a in fn.args.args)
+
+
+def block_of(cfg, fragment: str):
+    hits = [
+        b
+        for b in cfg.blocks.values()
+        if any(fragment in ast.unparse(s) for s in b.stmts)
+    ]
+    assert len(hits) == 1
+    return hits[0]
+
+
+class TestHelpers:
+    def test_assigned_names_scalar_targets_only(self):
+        stmt = ast.parse("a, b = x").body[0]
+        assert assigned_names(stmt) == {"a", "b"}
+        store = ast.parse("arr[i] = x").body[0]
+        assert assigned_names(store) == set()  # mutation, not a rebind
+        aug = ast.parse("n += 1").body[0]
+        assert assigned_names(aug) == {"n"}
+
+    def test_read_names(self):
+        stmt = ast.parse("y = a + arr[i]").body[0]
+        assert read_names(stmt) == {"a", "arr", "i"}
+
+
+class TestReachingDefinitions:
+    def test_params_reach_entry(self):
+        cfg, params = cfg_of(
+            """
+            def f(a, b):
+                return a
+            """
+        )
+        rd = ReachingDefinitions(cfg, params)
+        result = solve(cfg, rd)
+        names = {d.name for d in result.block_in[cfg.exit]}
+        assert {"a", "b"} <= names
+        assert all(d.index == -1 for d in result.block_in[cfg.exit] if d.name == "b")
+
+    def test_redefinition_kills(self):
+        cfg, params = cfg_of(
+            """
+            def f(a):
+                x = 1
+                x = 2
+                return x
+            """
+        )
+        result = solve(cfg, ReachingDefinitions(cfg, params))
+        # only the second definition survives to the exit
+        defs = [d for d in result.block_in[cfg.exit] if d.name == "x"]
+        assert len(defs) == 1 and defs[0].index == 1
+
+    def test_branch_join_keeps_both_defs(self):
+        cfg, params = cfg_of(
+            """
+            def f(c):
+                x = 1
+                if c:
+                    x = 2
+                y = x
+                return y
+            """
+        )
+        rd = ReachingDefinitions(cfg, params)
+        result = solve(cfg, rd)
+        use = block_of(cfg, "y = x")
+        assert len(rd.definitions_reaching(result, use.bid, "x")) == 2
+
+    def test_loop_target_defined_by_header(self):
+        cfg, params = cfg_of(
+            """
+            def f(n):
+                for i in range(n):
+                    x = i
+                return 0
+            """
+        )
+        rd = ReachingDefinitions(cfg, params)
+        result = solve(cfg, rd)
+        body = block_of(cfg, "x = i")
+        defs = rd.definitions_reaching(result, body.bid, "i")
+        assert defs and all(d.index >= 0 for d in defs)
+
+
+class TestLiveVariables:
+    def test_unread_param_not_live(self):
+        cfg, _ = cfg_of(
+            """
+            def f(a, b):
+                x = a + 1
+                return x
+            """
+        )
+        result = solve(cfg, LiveVariables())
+        live_entry = result.block_in[cfg.entry]
+        assert "a" in live_entry and "b" not in live_entry
+
+    def test_kill_before_read_not_live(self):
+        cfg, _ = cfg_of(
+            """
+            def f(a):
+                x = 1
+                x = a
+                return x
+            """
+        )
+        result = solve(cfg, LiveVariables())
+        assert "x" not in result.block_in[cfg.entry]
+
+    def test_loop_carried_variable_stays_live(self):
+        cfg, _ = cfg_of(
+            """
+            def f(n):
+                total = 0
+                while n > 0:
+                    total = total + n
+                    n = n - 1
+                return total
+            """
+        )
+        result = solve(cfg, LiveVariables())
+        body = block_of(cfg, "total = total + n")
+        # total is read by the loop body on the next trip and by the exit
+        assert "total" in result.block_in[body.bid]
+        assert "n" in result.block_in[body.bid]
+
+    def test_branch_test_reads_count(self):
+        cfg, _ = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        result = solve(cfg, LiveVariables())
+        assert "c" in result.block_in[cfg.entry]
+
+
+class TestSolver:
+    def test_converges_and_counts_iterations(self):
+        cfg, params = cfg_of(
+            """
+            def f(n):
+                total = 0
+                for i in range(n):
+                    total = total + i
+                return total
+            """
+        )
+        result = solve(cfg, ReachingDefinitions(cfg, params))
+        # a loop forces at least one re-visit beyond the initial sweep
+        assert result.iterations > len(cfg.blocks)
+
+    def test_non_convergence_raises(self):
+        cfg, params = cfg_of(
+            """
+            def f(n):
+                for i in range(n):
+                    x = i
+                return 0
+            """
+        )
+        with pytest.raises(RuntimeError, match="converge"):
+            solve(cfg, ReachingDefinitions(cfg, params), max_iterations=1)

@@ -1,0 +1,218 @@
+"""Variance/coalescing classification tests (repro.check.flow.divergence).
+
+The acceptance half pins the ISSUE criteria: zero unknown-variance
+branches across all six algorithms' kernels, the degree loops flagged
+divergent, and every color-array write coalesced (or broadcast in the
+wavefront-cooperative kernel).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.flow.divergence import (
+    AbsVal,
+    AccessClass,
+    Variance,
+    analyze_algorithm,
+    analyze_kernel,
+    classify_index,
+)
+from repro.coloring.device_kernels import DeviceKernel, KERNEL_ALGORITHMS
+
+
+def spec(fn, *, uniform_params=(), mapping="thread", grid="vertex") -> DeviceKernel:
+    return DeviceKernel(
+        name=fn.__name__,
+        fn=fn,
+        algorithms=(),
+        mapping=mapping,
+        grid=grid,
+        uniform_params=uniform_params,
+    )
+
+
+# -- synthetic kernels exercising one classification each ---------------
+
+
+def _coalesced(tid, data, out):
+    out[tid] = data[tid]
+
+
+def _strided(tid, data, out):
+    out[2 * tid] = data[2 * tid + 1]
+
+
+def _scattered(tid, indices, data, out):
+    out[tid] = data[indices[tid]]
+
+
+def _uniform_branch(tid, out, k):
+    if k > 3:
+        out[tid] = 1
+
+
+def _divergent_branch(tid, flags, out):
+    if flags[tid] > 0:
+        out[tid] = 1
+
+
+def _context_infects_uniform_rhs(tid, flags, out):
+    x = 0
+    if flags[tid] > 0:
+        x = 1  # uniform RHS bound under a divergent branch
+    out[x] = 1
+
+
+class TestLattice:
+    def test_variance_join_is_max(self):
+        assert Variance.UNIFORM.join(Variance.THREAD) == Variance.THREAD
+        assert Variance.WAVEFRONT.join(Variance.UNIFORM) == Variance.WAVEFRONT
+        assert Variance.THREAD.join(Variance.UNKNOWN) == Variance.UNKNOWN
+
+    def test_absval_join_keeps_matching_coeff(self):
+        a = AbsVal(Variance.THREAD, 1)
+        assert a.join(AbsVal(Variance.THREAD, 1)) == a
+        assert a.join(AbsVal(Variance.THREAD, 2)).coeff is None
+        # joining lane-affine with a plain uniform: the merged value is
+        # one or the other per path — THREAD-varying, no single coeff
+        mixed = a.join(AbsVal(Variance.UNIFORM, 0))
+        assert mixed.var == Variance.THREAD and mixed.coeff is None
+
+    def test_with_context_promotes(self):
+        v = AbsVal(Variance.UNIFORM, 0)
+        assert v.with_context(Variance.THREAD).var == Variance.THREAD
+        assert v.with_context(Variance.UNIFORM) == v
+
+    def test_classify_index(self):
+        assert classify_index(AbsVal(Variance.UNIFORM, 0)) == AccessClass.BROADCAST
+        assert classify_index(AbsVal(Variance.WAVEFRONT, 0)) == AccessClass.BROADCAST
+        assert classify_index(AbsVal(Variance.THREAD, 1)) == AccessClass.COALESCED
+        assert classify_index(AbsVal(Variance.THREAD, -1)) == AccessClass.COALESCED
+        assert classify_index(AbsVal(Variance.THREAD, 2)) == AccessClass.STRIDED
+        assert classify_index(AbsVal(Variance.THREAD, None)) == AccessClass.SCATTERED
+        assert classify_index(AbsVal(Variance.UNKNOWN, None)) == AccessClass.UNKNOWN
+
+
+class TestSyntheticKernels:
+    def _accesses(self, fn, **kw):
+        report = analyze_kernel(spec(fn, **kw))
+        assert report.warnings == []
+        return {(a.array, a.kind): a.access for a in report.accesses}, report
+
+    def test_coalesced(self):
+        acc, _ = self._accesses(_coalesced)
+        assert acc[("data", "load")] == AccessClass.COALESCED
+        assert acc[("out", "store")] == AccessClass.COALESCED
+
+    def test_strided(self):
+        acc, _ = self._accesses(_strided)
+        assert acc[("data", "load")] == AccessClass.STRIDED
+        assert acc[("out", "store")] == AccessClass.STRIDED
+
+    def test_scattered_through_indirection(self):
+        acc, _ = self._accesses(_scattered)
+        assert acc[("indices", "load")] == AccessClass.COALESCED
+        assert acc[("data", "load")] == AccessClass.SCATTERED
+
+    def test_uniform_branch_not_divergent(self):
+        _, report = self._accesses(_uniform_branch, uniform_params=("k",))
+        (branch,) = report.branches
+        assert branch.variance == Variance.UNIFORM
+        assert report.divergent_branches == []
+
+    def test_divergent_branch_flagged(self):
+        _, report = self._accesses(_divergent_branch)
+        (branch,) = report.branches
+        assert branch.variance == Variance.THREAD
+
+    def test_control_context_feeds_back_into_data(self):
+        # x is assigned a uniform constant, but under a thread-varying
+        # branch — so using it as an index is scattered, not broadcast.
+        acc, report = self._accesses(_context_infects_uniform_rhs)
+        assert acc[("out", "store")] == AccessClass.SCATTERED
+        assert report.rounds >= 2  # took a context-refinement round
+
+
+class TestAcceptanceAllAlgorithms:
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    def test_zero_unknown_branches_and_no_warnings(self, algorithm):
+        report = analyze_algorithm(algorithm)
+        assert report.kernels, f"no kernels analyzed for {algorithm}"
+        assert report.unknown_branches == []
+        for k in report.kernels:
+            assert k.warnings == [], f"{k.kernel}: {k.warnings}"
+            assert all(
+                a.access != AccessClass.UNKNOWN for a in k.accesses
+            ), k.kernel
+
+    @pytest.mark.parametrize("algorithm", ["maxmin", "jp", "speculative"])
+    def test_degree_loops_flagged_divergent(self, algorithm):
+        report = analyze_algorithm(algorithm)
+        for k in report.kernels:
+            assert k.divergent_loops, f"{k.kernel} has no divergent loop"
+
+    def test_edge_centric_kernels_are_loop_free(self):
+        report = analyze_algorithm("edge-centric")
+        for k in report.kernels:
+            assert k.loops == []
+
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    def test_color_writes_coalesced(self, algorithm):
+        report = analyze_algorithm(algorithm)
+        for k in report.kernels:
+            for store in k.stores_to("colors_out"):
+                assert store.access == AccessClass.COALESCED, (k.kernel, store)
+
+    def test_neighbor_loads_scattered(self):
+        (k,) = analyze_algorithm("jp").kernels
+        gather = [
+            a
+            for a in k.accesses
+            if a.array in ("colors_in", "priorities") and a.index_source == "u"
+        ]
+        assert gather and all(a.access == AccessClass.SCATTERED for a in gather)
+
+    def test_row_pointer_loads_coalesced(self):
+        (k,) = analyze_algorithm("jp").kernels
+        indptr = [a for a in k.accesses if a.array == "indptr"]
+        assert indptr and all(a.access == AccessClass.COALESCED for a in indptr)
+
+    def test_report_round_trips_to_json(self):
+        payload = analyze_algorithm("maxmin").to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["algorithm"] == "maxmin"
+        (kernel,) = decoded["kernels"]
+        assert kernel["summary"]["unknown_branches"] == 0
+
+
+class TestWavefrontKernel:
+    @pytest.fixture(scope="class")
+    def report(self):
+        algo_report = analyze_algorithm("maxmin", mapping="wavefront")
+        (k,) = algo_report.kernels
+        return k
+
+    def test_owner_guard_is_wavefront_not_divergent(self, report):
+        guard = next(b for b in report.branches if "colors_in[wid]" in b.source)
+        assert guard.variance == Variance.WAVEFRONT
+        assert guard not in report.divergent_branches
+
+    def test_cooperative_stride_loop_is_coalesced(self, report):
+        loads = [a for a in report.accesses if a.array == "indices"]
+        assert loads and all(a.access == AccessClass.COALESCED for a in loads)
+
+    def test_reduction_loop_bound_uniform(self, report):
+        tuple_loop = next(lp for lp in report.loops if "(32, 16" in lp.source)
+        assert tuple_loop.bound_variance == Variance.UNIFORM
+        assert not tuple_loop.divergent
+
+    def test_owner_color_write_is_broadcast(self, report):
+        stores = report.stores_to("colors_out")
+        assert stores and all(a.access == AccessClass.BROADCAST for a in stores)
+
+    def test_no_unknowns(self, report):
+        assert report.unknown_branches == []
+        assert report.warnings == []

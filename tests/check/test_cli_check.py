@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.cli import main
+
+
+def json_out(capsys) -> dict:
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, dict)
+    return payload
 
 
 class TestCheckValidate:
@@ -20,6 +28,17 @@ class TestCheckValidate:
         assert rc == 0
         for name in ("maxmin", "jp", "speculative", "partitioned"):
             assert name in out
+
+    def test_json_output(self, capsys):
+        rc = main(["check", "validate", "rmat", "--scale", "tiny", "-a", "jp",
+                   "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["ok"] is True and payload["graph"] == "rmat"
+
+    def test_unknown_graph_exits(self):
+        with pytest.raises(SystemExit):
+            main(["check", "validate", "no-such-graph", "--scale", "tiny"])
 
 
 class TestCheckRaces:
@@ -37,6 +56,19 @@ class TestCheckRaces:
         out = capsys.readouterr().out
         assert rc == 0
         assert "expected" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["check", "races", "rmat", "--scale", "tiny", "-a", "jp",
+                   "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        (scan,) = payload["scans"]
+        assert scan["algorithm"] == "jp" and scan["unexpected"] == 0
+        assert scan["total_accesses"] > 0
+
+    def test_unknown_scanner_exits(self):
+        with pytest.raises(SystemExit):
+            main(["check", "races", "rmat", "--scale", "tiny", "-a", "nope"])
 
 
 class TestCheckLint:
@@ -59,6 +91,28 @@ class TestCheckLint:
         out = capsys.readouterr().out
         assert rc == 1
         assert "RC002" in out
+
+    def test_json_clean(self, capsys):
+        rc = main(["check", "lint", "src/repro/check", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["ok"] is True and payload["violations"] == []
+
+    def test_json_violations(self, tmp_path, capsys):
+        bad = tmp_path / "gpusim" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nt = time.time()\n")
+        rc = main(["check", "lint", str(bad), "--json"])
+        payload = json_out(capsys)
+        assert rc == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "RC002" and violation["line"] == 2
+
+    def test_explain_json(self, capsys):
+        rc = main(["check", "lint", "--explain", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert set(payload["rules"]) == {"RC001", "RC002", "RC003", "RC004"}
 
 
 class TestCheckGolden:
@@ -84,6 +138,102 @@ class TestCheckGolden:
         out = capsys.readouterr().out
         assert rc == 1
         assert "DRIFT" in out
+
+
+class TestCheckGoldenJson:
+    def test_json_ok_and_drift(self, tmp_path, capsys):
+        baseline = tmp_path / "golden.json"
+        assert main(["check", "golden", "--write", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        rc = main(["check", "golden", "--baseline", str(baseline), "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["ok"] is True and payload["matched"] > 0
+
+        doc = json.loads(baseline.read_text())
+        doc[next(iter(doc))]["num_colors"] += 1
+        baseline.write_text(json.dumps(doc))
+        rc = main(["check", "golden", "--baseline", str(baseline), "--json"])
+        payload = json_out(capsys)
+        assert rc == 1
+        assert payload["ok"] is False and payload["drifted"]
+
+
+class TestCheckFlow:
+    def test_all_algorithms_text(self, capsys):
+        rc = main(["check", "flow"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for algo in ("maxmin", "jp", "speculative", "edge-centric"):
+            assert f"flow:{algo}" in out
+        assert "divergent loop" in out
+        assert "algorithms analyzed, ok" in out
+
+    def test_single_algorithm_json(self, capsys):
+        rc = main(["check", "flow", "-a", "maxmin", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["ok"] is True and payload["unknown_branches"] == 0
+        (entry,) = payload["algorithms"]
+        (kernel,) = entry["kernels"]
+        assert kernel["summary"]["divergent_loops"] == 1
+
+    def test_graph_prediction_attached(self, capsys):
+        rc = main(
+            ["check", "flow", "-a", "maxmin", "-g", "rmat", "--scale", "tiny",
+             "--json"]
+        )
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["graph"] == "rmat"
+        (entry,) = payload["algorithms"]
+        pred = entry["prediction"]
+        assert pred["imbalance_factor"] >= 1.0
+        assert 0.0 < pred["simd_efficiency"] <= 1.0
+
+    def test_prediction_text_line(self, capsys):
+        rc = main(["check", "flow", "-a", "jp", "-g", "rmat", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predicted on rmat" in out and "imbalance" in out
+
+    def test_wavefront_mapping_skips_uncovered(self, capsys):
+        rc = main(["check", "flow", "--mapping", "wavefront"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flow:maxmin" in out
+        assert "jp: no wavefront-mapping kernels (skipped)" in out
+
+    def test_empty_graph_from_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.el"
+        empty.write_text("# no edges\n")
+        rc = main(["check", "flow", "-a", "maxmin", "-g", str(empty), "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        (entry,) = payload["algorithms"]
+        assert entry["prediction"]["imbalance_factor"] == 1.0
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "flow", "-a", "nope"])
+        assert exc.value.code == 2  # argparse choices rejection
+
+
+class TestMalformedArguments:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["check"],  # missing subcommand
+            ["check", "flow", "--scale", "huge"],
+            ["check", "flow", "--mapping", "diagonal"],
+            ["check", "validate", "--seed", "not-an-int"],
+            ["check", "golden", "--no-such-flag"],
+        ],
+    )
+    def test_argparse_exits_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
 
 
 class TestColorValidateFlag:

@@ -87,9 +87,16 @@ class TestValidateColoring:
 
     def test_greedy_bound_exceeded(self, path5):
         # 5 distinct colors on a path (max degree 2) is proper but
-        # breaks the max_degree + 1 bound every bundled algorithm obeys.
+        # breaks the max_degree + 1 bound of the first-fit family.
         rep = validate_coloring(path5, np.arange(5))
         assert "coloring.bound" in _rules(rep)
+
+    def test_max_colors_overrides_greedy_bound(self, path5):
+        # a max-min run on a descending-priority path legally uses
+        # 2·rounds = 4 colors with max degree 2; the override accepts it
+        colors = np.array([0, 2, 1, 3, 0])
+        assert "coloring.bound" in _rules(validate_coloring(path5, colors))
+        assert validate_coloring(path5, colors, max_colors=4).ok
 
     def test_gap_is_warning_not_error(self, path5):
         rep = validate_coloring(path5, np.array([0, 2, 0, 2, 0]))
