@@ -11,7 +11,10 @@ Scale defaults to ``standard`` (the paper-like sizes); set
 process so experiments sharing a baseline don't recompute it. Set
 ``REPRO_BENCH_TRACE=1`` to run every benchmark under an attached
 tracer (events land in a bounded ring; cycles are unchanged — see
-``bench_obs_overhead.py`` for the proof).
+``bench_obs_overhead.py`` for the proof). Set ``REPRO_BENCH_JOBS=N``
+to let drivers that batch independent cells (``batch_rows``,
+``bench_parallel_harness.py``) spread them over N worker processes —
+results are bit-identical for any N.
 """
 
 from __future__ import annotations
@@ -29,9 +32,24 @@ from repro.harness.suite import build
 RESULTS_DIR = Path(__file__).parent / "results"
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "standard")
 TRACE = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
+#: worker processes for drivers that batch independent cells (1 = serial)
+JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1"))
 DEVICE = RADEON_HD_7950
 
 _RUN_CACHE: dict[tuple, ColoringResult] = {}
+
+
+def batch_rows(jobs, *, parallel_jobs: int | None = None) -> list[dict[str, object]]:
+    """Run a list of :class:`~repro.harness.batch.BatchJob` cells.
+
+    Honors :data:`JOBS` (the ``REPRO_BENCH_JOBS`` knob) unless
+    ``parallel_jobs`` overrides it.  Rows are bit-identical for any
+    worker count; see :func:`repro.harness.batch.run_batch`.
+    """
+    from repro.harness.batch import run_batch
+
+    n = JOBS if parallel_jobs is None else parallel_jobs
+    return run_batch(jobs, device=DEVICE, scale=SCALE, parallel_jobs=n)
 
 
 def timed_run(

@@ -59,12 +59,43 @@ def _json_default(obj):
 
 
 def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
-    """Append records to a JSON-lines file (one record per line)."""
+    """Append records to a JSON-lines file (one record per line).
+
+    Safe under concurrent benchmark processes: the batch is serialized
+    first and written as one ``write`` call under an exclusive
+    ``flock``, so parallel appenders cannot interleave partial lines.
+    """
+    if not records:
+        return
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
+    payload = "".join(
+        json.dumps(asdict(r), default=_json_default) + "\n" for r in records
+    )
     with p.open("a") as fh:
-        for r in records:
-            fh.write(json.dumps(asdict(r), default=_json_default) + "\n")
+        _flock_exclusive(fh)
+        try:
+            fh.write(payload)
+            fh.flush()
+        finally:
+            _flock_release(fh)
+
+
+def _flock_exclusive(fh) -> None:
+    """Take an exclusive advisory lock (no-op where flock is missing)."""
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return
+    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+
+
+def _flock_release(fh) -> None:
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return
+    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
 
 def load_records(path: str | Path) -> list[ExperimentRecord]:

@@ -9,6 +9,7 @@ Subcommands::
     repro-color stats powerlaw                 # structure + layout analysis
     repro-color convert in.mtx out.col         # graph format conversion
     repro-color sweep rmat --parameter chunk_size 256 512 1024
+    repro-color batch all -a maxmin,jp --jobs 4  # parallel run matrix
     repro-color trace rmat -o rmat.trace.json  # traced run -> Chrome trace
     repro-color profile rmat                   # per-phase metrics table
     repro-color check validate rmat            # invariant validators
@@ -240,6 +241,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--scale", choices=SCALES, default="small")
     p_sweep.add_argument("--device", default="hd7950")
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (suite datasets only; results are "
+        "identical to a serial sweep)",
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="run an algorithm × dataset matrix, optionally in parallel"
+    )
+    p_batch.add_argument(
+        "datasets",
+        nargs="+",
+        help=f"suite dataset names ({', '.join(SUITE)}), or 'all'",
+    )
+    p_batch.add_argument(
+        "--algorithms",
+        "-a",
+        default="maxmin",
+        help="comma-separated GPU algorithms, or 'all'",
+    )
+    p_batch.add_argument("--mapping", choices=MAPPINGS, default="thread")
+    p_batch.add_argument("--schedule", choices=SCHEDULES, default="grid")
+    p_batch.add_argument("--scale", choices=SCALES, default="small")
+    p_batch.add_argument("--device", default="hd7950")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes; rows are bit-identical for any value",
+    )
+    p_batch.add_argument(
+        "--deep-validate",
+        action="store_true",
+        help="run the full repro.check invariant suite on every cell",
+    )
+    p_batch.add_argument(
+        "--output",
+        "-o",
+        help="write rows to FILE (.json or .csv) in addition to the table",
+    )
 
     p_check = sub.add_parser(
         "check", help="correctness tooling: validators, races, lint, golden"
@@ -622,27 +668,38 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    graph, name = _resolve_graph(args.graph, args.scale)
-    ctx = _make_context(args)
-    rows = []
-    for value in args.values:
-        kwargs = {args.parameter: value}
-        if args.parameter == "workgroup_size":
-            kwargs["chunk_size"] = max(256, value)
-        executor = ctx.executor(
-            mapping=args.mapping, schedule=args.schedule, **kwargs
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1 and args.graph not in SUITE:
+        print(
+            "note: --jobs applies to suite datasets only; sweeping serially",
+            file=sys.stderr,
         )
-        result = run_gpu_coloring(
-            graph, args.algorithm, executor, seed=args.seed, context=ctx
-        )
-        rows.append(
-            {
-                args.parameter: value,
-                "time_ms": round(result.time_ms, 4),
-                "colors": result.num_colors,
-                "iterations": result.num_iterations,
-            }
-        )
+        jobs = 1
+    if jobs > 1:
+        rows = _sweep_rows_parallel(args, jobs)
+        name = args.graph
+    else:
+        graph, name = _resolve_graph(args.graph, args.scale)
+        ctx = _make_context(args)
+        rows = []
+        for value in args.values:
+            kwargs = {args.parameter: value}
+            if args.parameter == "workgroup_size":
+                kwargs["chunk_size"] = max(256, value)
+            executor = ctx.executor(
+                mapping=args.mapping, schedule=args.schedule, **kwargs
+            )
+            result = run_gpu_coloring(
+                graph, args.algorithm, executor, seed=args.seed, context=ctx
+            )
+            rows.append(
+                {
+                    args.parameter: value,
+                    "time_ms": round(result.time_ms, 4),
+                    "colors": result.num_colors,
+                    "iterations": result.num_iterations,
+                }
+            )
     print(
         format_table(
             rows,
@@ -650,6 +707,108 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"sweep over {args.parameter}",
         )
     )
+    return 0
+
+
+def _sweep_rows_parallel(args: argparse.Namespace, jobs: int) -> list[dict]:
+    """Sweep points as self-contained batch cells across worker processes."""
+    from .harness.batch import BatchJob, run_batch
+
+    cells = []
+    for value in args.values:
+        config = {args.parameter: value}
+        if args.parameter == "workgroup_size":
+            config["chunk_size"] = max(256, value)
+        cells.append(
+            BatchJob(
+                dataset=args.graph,
+                algorithm=args.algorithm,
+                mapping=args.mapping,
+                schedule=args.schedule,
+                seed=args.seed,
+                config=config,
+                label=f"{args.graph}:{args.parameter}={value}",
+            )
+        )
+    batch_rows = run_batch(
+        cells,
+        device=named_device(args.device),
+        scale=args.scale,
+        parallel_jobs=jobs,
+    )
+    return [
+        {
+            args.parameter: value,
+            "time_ms": round(float(row["time_ms"]), 4),
+            "colors": row["colors"],
+            "iterations": row["iterations"],
+        }
+        for value, row in zip(args.values, batch_rows, strict=True)
+    ]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .harness.batch import BatchJob, run_batch, save_rows_csv, save_rows_json
+
+    datasets = list(SUITE) if args.datasets == ["all"] else args.datasets
+    for name in datasets:
+        if name not in SUITE:
+            raise SystemExit(
+                f"error: {name!r} is not a suite dataset ({', '.join(SUITE)})"
+            )
+    if args.algorithms == "all":
+        algorithms = sorted(GPU_ALGORITHMS)
+    else:
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    for algo in algorithms:
+        if algo not in GPU_ALGORITHMS:
+            raise SystemExit(
+                f"error: {algo!r} is not a GPU algorithm "
+                f"({', '.join(sorted(GPU_ALGORITHMS))})"
+            )
+    jobs = [
+        BatchJob(
+            dataset=ds,
+            algorithm=algo,
+            mapping=args.mapping,
+            schedule=args.schedule,
+            seed=args.seed,
+        )
+        for ds in datasets
+        for algo in algorithms
+    ]
+    rows = run_batch(
+        jobs,
+        device=named_device(args.device),
+        scale=args.scale,
+        deep_validate=args.deep_validate,
+        parallel_jobs=args.jobs,
+    )
+    display = [
+        {
+            "job": r["job"],
+            "colors": r["colors"],
+            "iters": r["iterations"],
+            "cycles": round(float(r["cycles"]), 1),
+            "time_ms": round(float(r["time_ms"]), 4),
+            "simd_eff": round(float(r["simd_eff"]), 3),
+        }
+        for r in rows
+    ]
+    workers = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    print(
+        format_table(
+            display,
+            title=f"batch: {len(rows)} cells (scale={args.scale}{workers})",
+        )
+    )
+    if args.output:
+        out = Path(args.output)
+        if out.suffix == ".csv":
+            save_rows_csv(rows, out)
+        else:
+            save_rows_json(rows, out)
+        print(f"\nrows -> {out}")
     return 0
 
 
@@ -918,6 +1077,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "convert": _cmd_convert,
         "sweep": _cmd_sweep,
+        "batch": _cmd_batch,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "check": _cmd_check,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -249,6 +249,30 @@ class PlanCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+
+    def items(self) -> list[tuple[Hashable, ExecutionPlan]]:
+        """Snapshot of the cached ``(key, plan)`` pairs, LRU order.
+
+        Used by :mod:`repro.harness.artifacts` to persist warm plans
+        across benchmark invocations.
+        """
+        return list(self._entries.items())
+
+    def seed(self, entries: Iterable[tuple[Hashable, ExecutionPlan]]) -> int:
+        """Pre-populate from ``(key, plan)`` pairs; returns count added.
+
+        Existing keys are left untouched (a live entry is at least as
+        fresh as a persisted one); the LRU bound still applies.
+        """
+        added = 0
+        for key, plan in entries:
+            if key in self._entries:
+                continue
+            self._entries[key] = plan
+            added += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return added
 
     def stats(self) -> dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}

@@ -16,6 +16,7 @@ same way?) rather than inside the algorithm loops.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -113,57 +114,113 @@ def simulate_cu_detailed(
     if n == 0:
         return DetailedResult(0.0, 0.0, 0.0)
 
+    if not acc.any():
+        # Pure-compute kernel: no wave ever sleeps, so the pipe issues
+        # the waves back-to-back in admission order.  The event loop
+        # accumulates ``now`` as a sequential left fold, which
+        # np.add.accumulate reproduces bit-for-bit (np.sum's pairwise
+        # reduction would not).
+        total = float(np.add.accumulate(comp)[-1])
+        return DetailedResult(cycles=total, issue_busy_cycles=total, stall_cycles=0.0)
+
     # per-wave: quantum length and remaining phase count
     quanta = comp / (acc + 1)
-    phases_left = (2 * acc + 1).astype(np.int64)  # compute,mem,...,compute
+    phases = 2 * acc + 1  # compute,mem,...,compute
+
+    if params.resident_waves_per_simd == 1:
+        return _simulate_solo_resident(quanta, acc, phases, params)
+
+    quanta_l = quanta.tolist()
+    phases_left = phases.tolist()
 
     next_to_admit = 0
-    ready: list[int] = []  # waves ready to issue (FIFO)
+    ready: deque[int] = deque()  # waves ready to issue (FIFO)
     returns: list[tuple[float, int]] = []  # (time, wave) memory completions
     resident = 0
     now = 0.0
     issue_busy = 0.0
     stall = 0.0
     done = 0
+    resident_max = params.resident_waves_per_simd
+    latency = params.effective_latency
+    heappush, heappop = heapq.heappush, heapq.heappop
 
     while done < n:
         # admit while there is room
-        while resident < params.resident_waves_per_simd and next_to_admit < n:
+        while resident < resident_max and next_to_admit < n:
             ready.append(next_to_admit)
             next_to_admit += 1
             resident += 1
         if ready:
-            w = ready.pop(0)
-            q = quanta[w]
+            w = ready.popleft()
+            q = quanta_l[w]
             now += q
             issue_busy += q
-            phases_left[w] -= 1
+            left = phases_left[w] - 1
             # release memory returns that completed during the quantum
             while returns and returns[0][0] <= now:
-                _, back = heapq.heappop(returns)
+                _, back = heappop(returns)
                 ready.append(back)
-            if phases_left[w] == 0:
+            if left == 0:
+                phases_left[w] = 0
                 resident -= 1
                 done += 1
             else:
                 # issue the memory request; wave sleeps for the latency
-                phases_left[w] -= 1
-                if phases_left[w] == 0:  # ended on a memory phase
+                left -= 1
+                phases_left[w] = left
+                if left == 0:  # ended on a memory phase
                     resident -= 1
                     done += 1
                 else:
-                    heapq.heappush(returns, (now + params.effective_latency, w))
+                    heappush(returns, (now + latency, w))
             continue
         if returns:
             # every resident wave is waiting on memory: stall to the
             # first completion
-            t, back = heapq.heappop(returns)
+            t, back = heappop(returns)
             stall += max(t - now, 0.0)
             now = max(now, t)
             ready.append(back)
             continue
         break  # defensive: nothing ready, nothing returning
     return DetailedResult(cycles=now, issue_busy_cycles=issue_busy, stall_cycles=stall)
+
+
+def _simulate_solo_resident(
+    quanta: np.ndarray,
+    acc: np.ndarray,
+    phases: np.ndarray,
+    params: DetailedParams,
+) -> DetailedResult:
+    """Closed form for ``resident_waves_per_simd == 1``.
+
+    With a single resident wave nothing overlaps: wave *w* runs
+    ``q, L, q, L, ..., q`` (``acc[w]`` full-latency stalls interleaving
+    ``acc[w]+1`` quanta), waves strictly in order.  Reproduce the event
+    loop's float arithmetic by accumulating the exact per-phase sequence
+    with sequential left folds.
+    """
+    latency = params.effective_latency
+    total_phases = int(phases.sum())
+    seq = np.repeat(quanta, phases)
+    offsets = np.zeros(phases.size, dtype=np.int64)
+    np.cumsum(phases[:-1], out=offsets[1:])
+    local = np.arange(total_phases) - np.repeat(offsets, phases)
+    is_mem = (local % 2) == 1
+    seq[is_mem] = latency
+    cum = np.add.accumulate(seq)
+    cycles = float(cum[-1])
+    issue = float(np.add.accumulate(seq[~is_mem])[-1])
+    # The loop's stall increment is ``(now + L) - now``, which is not
+    # exactly ``L`` in floats; recover it from consecutive cumulative
+    # times around each memory phase.
+    mem_idx = np.flatnonzero(is_mem)
+    if mem_idx.size:
+        stall = float(np.add.accumulate(cum[mem_idx] - cum[mem_idx - 1])[-1])
+    else:
+        stall = 0.0
+    return DetailedResult(cycles=cycles, issue_busy_cycles=issue, stall_cycles=stall)
 
 
 def detailed_dispatch(

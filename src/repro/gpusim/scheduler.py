@@ -43,6 +43,11 @@ __all__ = [
 ]
 
 
+# Equal-cost runs shorter than this are cheaper to step through the
+# Python heap than to set up a numpy candidate ladder for.
+_RUN_MIN = 16
+
+
 def greedy_schedule(
     task_cycles: np.ndarray,
     num_pipes: int,
@@ -56,6 +61,56 @@ def greedy_schedule(
     pipe task ``i`` ran on and ``pipe_busy[p]`` the total busy cycles of
     pipe ``p``. Makespan is ``pipe_busy.max()`` because greedy dispatch
     leaves no holes (each pipe runs its tasks back-to-back).
+
+    The schedule is computed by a batched implementation that exploits
+    input structure (single pipe, short task lists, equal-cost runs —
+    the common case for workgroup costs, which come from integer cycle
+    counts and are frequently tied).  It is bit-identical to the
+    reference per-task heap loop (:func:`_greedy_schedule_reference`),
+    including ``(time, pipe)`` tie-breaking and float accumulation
+    order.  ``timeline`` recording is a post-pass over the computed
+    start/end arrays rather than a per-task callback.
+    """
+    costs = np.asarray(task_cycles, dtype=np.float64).ravel()
+    if num_pipes <= 0:
+        raise ValueError("num_pipes must be positive")
+    n = costs.size
+    if n:
+        if not np.all(np.isfinite(costs)):
+            raise ValueError(
+                "task costs must be finite (NaN/inf would silently corrupt "
+                "the scheduler's heap ordering)"
+            )
+        if costs.min() < 0:
+            raise ValueError("task costs must be non-negative")
+    assignment = np.empty(n, dtype=np.int64)
+    busy = np.zeros(num_pipes, dtype=np.float64)
+    if n:
+        starts = np.empty(n, dtype=np.float64)
+        _schedule_into(costs, num_pipes, assignment, starts)
+        np.add.at(busy, assignment, costs)
+        if timeline is not None:
+            timeline.record_batch(
+                assignment,
+                starts,
+                starts + costs,
+                tag if tag else [f"t{i}" for i in range(n)],
+            )
+    return assignment, busy
+
+
+def _greedy_schedule_reference(
+    task_cycles: np.ndarray,
+    num_pipes: int,
+    *,
+    timeline: Timeline | None = None,
+    tag: str = "",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference per-task heap loop (the original implementation).
+
+    Kept as the equivalence oracle for the vectorized scheduler: the
+    property tests assert :func:`greedy_schedule` matches this exactly
+    (assignments, busy arrays, and recorded timelines).
     """
     costs = np.asarray(task_cycles, dtype=np.float64).ravel()
     if num_pipes <= 0:
@@ -76,6 +131,174 @@ def greedy_schedule(
             timeline.record(pipe, start, end, tag or f"t{i}")
         heapq.heappush(heap, (end, pipe))
     return assignment, busy
+
+
+def _schedule_scalar(
+    costs: np.ndarray,
+    num_pipes: int,
+    assignment: np.ndarray,
+    starts: np.ndarray,
+) -> None:
+    """Optimized scalar fallback: one heap loop over plain Python floats."""
+    clist = costs.tolist()
+    n = len(clist)
+    heap: list[tuple[float, int]] = [(0.0, p) for p in range(num_pipes)]
+    pop, push = heapq.heappop, heapq.heappush
+    out_p = [0] * n
+    out_s = [0.0] * n
+    for i in range(n):
+        t, p = pop(heap)
+        out_p[i] = p
+        out_s[i] = t
+        push(heap, (t + clist[i], p))
+    assignment[:] = out_p
+    starts[:] = out_s
+
+
+def _schedule_into(
+    costs: np.ndarray,
+    num_pipes: int,
+    assignment: np.ndarray,
+    starts: np.ndarray,
+) -> None:
+    """Fill ``assignment``/``starts`` exactly as the reference heap would.
+
+    Strategy, in order of preference:
+
+    - single pipe → prefix-sum of costs;
+    - no more tasks than pipes (all costs positive) → task ``i`` on pipe
+      ``i`` at time 0;
+    - all costs equal and positive → round-robin with one shared
+      start-time ladder (sequential ``np.add.accumulate`` reproduces the
+      heap's float accumulation bit-for-bit);
+    - otherwise decompose into equal-cost runs: long runs merge the
+      pipes' arithmetic start-time progressions with a stable argsort
+      (ties resolve to the lowest pipe, matching the heap's
+      ``(time, pipe)`` order); short runs step a conventional heap, in
+      contiguous segments so mostly-distinct inputs pay one optimized
+      scalar pass instead of per-run setup.
+    """
+    n = costs.size
+    P = num_pipes
+    if P == 1:
+        assignment[:] = 0
+        starts[0] = 0.0
+        if n > 1:
+            np.add.accumulate(costs[:-1], out=starts[1:])
+        return
+    if n <= P:
+        # With positive costs the first n pops are the n distinct idle
+        # pipes.  Zero costs re-expose a popped pipe at the same lexical
+        # rank, so they fall through to the general path.
+        if costs.min() > 0.0:
+            assignment[:] = np.arange(n)
+            starts[:] = 0.0
+            return
+    else:
+        c0 = costs[0]
+        if c0 > 0.0 and not np.any(costs != c0):
+            idx = np.arange(n, dtype=np.int64)
+            assignment[:] = idx % P
+            rounds = -(-n // P)
+            ladder = np.full(rounds, c0, dtype=np.float64)
+            ladder[0] = 0.0
+            np.add.accumulate(ladder, out=ladder)
+            starts[:] = ladder[idx // P]
+            return
+    bounds = np.flatnonzero(np.diff(costs) != 0) + 1
+    num_runs = bounds.size + 1
+    if num_runs * _RUN_MIN > n:
+        # Mean run length below the vectorization threshold: the run
+        # machinery would mostly hit its scalar branch anyway.
+        _schedule_scalar(costs, P, assignment, starts)
+        return
+    run_starts = np.concatenate(([0], bounds)).tolist()
+    run_ends = np.concatenate((bounds, [n])).tolist()
+    pop, push = heapq.heappop, heapq.heappush
+    avail = np.zeros(P, dtype=np.float64)
+    heap: list[tuple[float, int]] | None = None
+    clist: list[float] | None = None
+    i = 0
+    while i < num_runs:
+        rs = run_starts[i]
+        re = run_ends[i]
+        if re - rs < _RUN_MIN:
+            # Merge the contiguous stretch of short runs into one
+            # scalar heap segment.
+            j = i + 1
+            while j < num_runs and run_ends[j] - run_starts[j] < _RUN_MIN:
+                j += 1
+            seg_end = run_ends[j - 1]
+            if heap is None:
+                heap = list(zip(avail.tolist(), range(P), strict=True))
+                heapq.heapify(heap)
+            if clist is None:
+                clist = costs.tolist()
+            out_p = [0] * (seg_end - rs)
+            out_s = [0.0] * (seg_end - rs)
+            k = 0
+            for idx in range(rs, seg_end):
+                t, p = pop(heap)
+                out_p[k] = p
+                out_s[k] = t
+                k += 1
+                push(heap, (t + clist[idx], p))
+            assignment[rs:seg_end] = out_p
+            starts[rs:seg_end] = out_s
+            i = j
+            continue
+        if heap is not None:
+            for t, p in heap:
+                avail[p] = t
+            heap = None
+        R = re - rs
+        c = float(costs[rs])
+        if c == 0.0:
+            # Zero-cost tasks re-insert (t, p) unchanged, so the heap
+            # pops the same lexically-minimal pipe for the whole run.
+            p0 = int(np.argmin(avail))
+            assignment[rs:re] = p0
+            starts[rs:re] = avail[p0]
+            i += 1
+            continue
+        amax = float(avail.max())
+        amin = float(avail.min())
+        # Candidate-count bound: slots available by time amax, plus the
+        # full rounds needed to cover any remainder of the run.  A pipe
+        # can take at most R tasks from this run, so R + 1 rungs per
+        # ladder always suffice — that cap keeps the ladder bounded when
+        # c is tiny relative to the avail spread (the uncapped bound is
+        # ~(amax - amin)/c, which overflows for epsilon-sized costs).
+        cap = R + 1
+        with np.errstate(over="ignore"):
+            # denormal c overflows the quotients to inf — which reads
+            # correctly as "more slots than the run could ever need"
+            c1 = np.floor((amax - avail) / c).sum() + P
+            extra = 0 if c1 >= R else -((int(c1) - R) // P)
+            kmaxf = np.floor((amax + extra * c - amin) / c) + 2
+        kmax = int(kmaxf) if kmaxf < cap else cap
+        while True:
+            # Row p holds the exact sequential start times avail[p],
+            # avail[p]+c, ... — np.add.accumulate is a left fold, so the
+            # floats match repeated ``start + cost`` exactly.
+            mat = np.full((P, kmax + 1), c, dtype=np.float64)
+            mat[:, 0] = avail
+            np.add.accumulate(mat, axis=1, out=mat)
+            cand = mat[:, :-1].ravel()
+            order = np.argsort(cand, kind="stable")[:R]
+            sel_p = order // kmax
+            counts = np.bincount(sel_p, minlength=P)
+            if counts.max() < kmax:
+                # Every pipe kept at least one unselected candidate, so
+                # the selection threshold lies inside every ladder and
+                # the R smallest candidates are exact.
+                break
+            # counts.max() <= R < cap, so the loop terminates at cap.
+            kmax = min(kmax * 2, cap)
+        assignment[rs:re] = sel_p
+        starts[rs:re] = cand[order]
+        avail = mat[np.arange(P), counts]
+        i += 1
 
 
 def workgroup_costs(

@@ -9,6 +9,7 @@ and the idle tail.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,45 @@ class Timeline:
         self._starts.append(float(start))
         self._ends.append(float(end))
         self._tags.append(tag)
+
+    def record_batch(
+        self,
+        pipes: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        tags: str | Sequence[str] = "",
+    ) -> None:
+        """Append many intervals at once (vectorized validation).
+
+        ``tags`` is either one tag applied to every interval or a
+        sequence with one tag per interval.  Equivalent to calling
+        :meth:`record` in a loop, but a cheap post-pass for schedulers
+        that compute start/end arrays in bulk.
+        """
+        p = np.asarray(pipes, dtype=np.int64).ravel()
+        s = np.asarray(starts, dtype=np.float64).ravel()
+        e = np.asarray(ends, dtype=np.float64).ravel()
+        if not (p.size == s.size == e.size):
+            raise ValueError("pipes, starts, ends must have equal length")
+        if p.size == 0:
+            return
+        if p.min() < 0 or p.max() >= self.num_pipes:
+            raise ValueError(
+                f"pipe out of range [0, {self.num_pipes}): "
+                f"[{p.min()}, {p.max()}]"
+            )
+        if np.any(e < s):
+            raise ValueError("interval must have end >= start")
+        if isinstance(tags, str):
+            tag_list = [tags] * p.size
+        else:
+            tag_list = [str(t) for t in tags]
+            if len(tag_list) != p.size:
+                raise ValueError("tags must be a string or match the batch length")
+        self._pipes.extend(p.tolist())
+        self._starts.extend(s.tolist())
+        self._ends.extend(e.tolist())
+        self._tags.extend(tag_list)
 
     def __len__(self) -> int:
         return len(self._pipes)

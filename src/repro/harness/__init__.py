@@ -1,7 +1,22 @@
 """Workload harness: the dataset suite and shared run helpers."""
 
+from .artifacts import (
+    ArtifactCache,
+    cache_from_env,
+    graph_key,
+    load_plan_cache,
+    save_plan_cache,
+)
 from .autotune import TuneOutcome, autotune, candidate_configs
-from .batch import BatchJob, run_batch, save_rows_csv, save_rows_json
+from .batch import BatchJob, run_batch, run_batch_cell, save_rows_csv, save_rows_json
+from .parallel import (
+    SharedGraphRef,
+    SharedGraphStore,
+    attach_graph,
+    derive_seed,
+    parallel_map,
+    run_batch_parallel,
+)
 from .runner import (
     CPU_ALGORITHMS,
     GPU_ALGORITHMS,
@@ -34,6 +49,18 @@ __all__ = [
     "candidate_configs",
     "BatchJob",
     "run_batch",
+    "run_batch_cell",
     "save_rows_csv",
     "save_rows_json",
+    "ArtifactCache",
+    "cache_from_env",
+    "graph_key",
+    "load_plan_cache",
+    "save_plan_cache",
+    "SharedGraphRef",
+    "SharedGraphStore",
+    "attach_graph",
+    "derive_seed",
+    "parallel_map",
+    "run_batch_parallel",
 ]

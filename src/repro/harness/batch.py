@@ -20,7 +20,7 @@ from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from .runner import make_executor, run_gpu_coloring
 from .suite import SUITE, build
 
-__all__ = ["BatchJob", "run_batch", "save_rows_json", "save_rows_csv"]
+__all__ = ["BatchJob", "run_batch", "run_batch_cell", "save_rows_json", "save_rows_csv"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,58 @@ class BatchJob:
         )
 
 
+def run_batch_cell(
+    job: BatchJob,
+    graph,
+    ctx: RunContext,
+    *,
+    device: DeviceConfig | None = None,
+    deep_validate: bool = False,
+) -> dict[str, object]:
+    """Run one cell of the matrix under ``ctx`` and return its row.
+
+    Shared by the serial loop and the process-pool workers
+    (:mod:`repro.harness.parallel`), so both paths report identical
+    rows by construction.  ``device`` defaults to the context's.
+    """
+    executor = make_executor(
+        device if device is not None else ctx.device,
+        mapping=job.mapping,
+        schedule=job.schedule,
+        context=ctx,
+        **job.config,
+    )
+    span = (
+        ctx.tracer.span(job.name, dataset=job.dataset, algorithm=job.algorithm)
+        if ctx.tracer is not None
+        else nullcontext()
+    )
+    with span:
+        result = run_gpu_coloring(
+            graph,
+            job.algorithm,
+            executor,
+            seed=job.seed,
+            deep_validate=deep_validate,
+        )
+    return {
+        "job": job.name,
+        "dataset": job.dataset,
+        "algorithm": job.algorithm,
+        "mapping": job.mapping,
+        "schedule": job.schedule,
+        "seed": job.seed,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "colors": result.num_colors,
+        "iterations": result.num_iterations,
+        "cycles": result.total_cycles,
+        "time_ms": result.time_ms,
+        "simd_eff": executor.counters.mean_simd_efficiency,
+        "launch_fraction": executor.counters.launch_overhead_fraction,
+    }
+
+
 def run_batch(
     jobs: Sequence[BatchJob],
     *,
@@ -49,19 +101,41 @@ def run_batch(
     scale: str = "small",
     context: RunContext | None = None,
     deep_validate: bool = False,
+    parallel_jobs: int = 1,
 ) -> list[dict[str, object]]:
     """Run every job, validating each coloring; returns one row per job.
 
-    All jobs share one :class:`~repro.engine.context.RunContext` (the
-    given one, or a fresh context for ``device``): execution plans warm
-    up across cells that repeat a graph × configuration, and
-    ``context.counters`` aggregates the whole matrix while each row
-    still reports its own executor's window.
+    With ``parallel_jobs <= 1`` all jobs share one
+    :class:`~repro.engine.context.RunContext` (the given one, or a fresh
+    context for ``device``): execution plans warm up across cells that
+    repeat a graph × configuration, and ``context.counters`` aggregates
+    the whole matrix while each row still reports its own executor's
+    window.
+
+    With ``parallel_jobs > 1`` the cells run across that many worker
+    processes (see :func:`repro.harness.parallel.run_batch_parallel`):
+    each cell gets a fresh worker context, graphs are shared read-only
+    via shared memory, rows come back in job order, and — because every
+    cell is self-contained — the rows are bit-identical to a serial run.
+    A tracer on ``context`` still receives every worker's events, merged
+    in job order; ``context.counters`` does not aggregate across
+    processes.
 
     ``deep_validate`` runs the full :mod:`repro.check` invariant suite
     on every cell (see :func:`~repro.harness.runner.run_gpu_coloring`);
     the first violating cell raises, naming the job.
     """
+    if parallel_jobs > 1:
+        from .parallel import run_batch_parallel
+
+        return run_batch_parallel(
+            jobs,
+            device=device,
+            scale=scale,
+            jobs=parallel_jobs,
+            deep_validate=deep_validate,
+            context=context,
+        )
     ctx = context if context is not None else RunContext(device=device)
     rows: list[dict[str, object]] = []
     for job in jobs:
@@ -69,41 +143,8 @@ def run_batch(
             graph = build(job.dataset, scale)
         else:
             raise KeyError(f"unknown dataset {job.dataset!r}")
-        executor = make_executor(
-            device, mapping=job.mapping, schedule=job.schedule, context=ctx, **job.config
-        )
-        span = (
-            ctx.tracer.span(
-                job.name, dataset=job.dataset, algorithm=job.algorithm
-            )
-            if ctx.tracer is not None
-            else nullcontext()
-        )
-        with span:
-            result = run_gpu_coloring(
-                graph,
-                job.algorithm,
-                executor,
-                seed=job.seed,
-                deep_validate=deep_validate,
-            )
         rows.append(
-            {
-                "job": job.name,
-                "dataset": job.dataset,
-                "algorithm": job.algorithm,
-                "mapping": job.mapping,
-                "schedule": job.schedule,
-                "seed": job.seed,
-                "num_vertices": graph.num_vertices,
-                "num_edges": graph.num_edges,
-                "colors": result.num_colors,
-                "iterations": result.num_iterations,
-                "cycles": result.total_cycles,
-                "time_ms": result.time_ms,
-                "simd_eff": executor.counters.mean_simd_efficiency,
-                "launch_fraction": executor.counters.launch_overhead_fraction,
-            }
+            run_batch_cell(job, graph, ctx, device=device, deep_validate=deep_validate)
         )
     return rows
 

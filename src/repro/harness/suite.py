@@ -152,14 +152,33 @@ def suite_names(*, skewed_only: bool | None = None) -> list[str]:
 
 
 def build(name: str, scale: str = "standard") -> CSRGraph:
-    """Build (or fetch cached) suite graph ``name`` at ``scale``."""
+    """Build (or fetch cached) suite graph ``name`` at ``scale``.
+
+    Besides the process-local cache, an on-disk
+    :class:`~repro.harness.artifacts.ArtifactCache` is consulted when
+    the ``REPRO_ARTIFACT_CACHE`` environment variable names a directory:
+    a verified hit skips generation entirely, a miss generates and then
+    persists for the next invocation.  Generators are deterministic, so
+    the loaded arrays are identical to freshly generated ones.
+    """
     if name not in SUITE:
         raise KeyError(f"unknown dataset {name!r}; known: {sorted(SUITE)}")
     if scale not in SCALES:
         raise KeyError(f"unknown scale {scale!r}; known: {SCALES}")
     key = (name, scale)
     if key not in _CACHE:
-        _CACHE[key] = SUITE[name].build(scale)
+        from .artifacts import cache_from_env, graph_key
+
+        disk = cache_from_env()
+        if disk is not None:
+            gkey = graph_key(name, scale)
+            graph = disk.load_graph(gkey)
+            if graph is None:
+                graph = SUITE[name].build(scale)
+                disk.store_graph(gkey, graph)
+            _CACHE[key] = graph
+        else:
+            _CACHE[key] = SUITE[name].build(scale)
     return _CACHE[key]
 
 

@@ -29,28 +29,51 @@ def grid_points(grid: Mapping[str, Sequence]) -> list[dict[str, object]]:
     ]
 
 
+def _merge_row(
+    point: dict[str, object], out: Mapping[str, object] | float
+) -> dict[str, object]:
+    row = dict(point)
+    if isinstance(out, Mapping):
+        overlap = set(row) & set(out)
+        if overlap:
+            raise ValueError(f"measurement keys collide with parameters: {overlap}")
+        row.update(out)
+    else:
+        row["value"] = out
+    return row
+
+
+def _eval_point(payload: tuple[Callable, dict[str, object]]):
+    measure, point = payload
+    return measure(**point)
+
+
 def sweep(
     measure: Callable[..., Mapping[str, object] | float],
     grid: Mapping[str, Sequence],
+    *,
+    jobs: int = 1,
 ) -> list[dict[str, object]]:
     """Run ``measure(**point)`` at every grid point.
 
     Each row contains the point's parameters plus the measurement —
     merged in if ``measure`` returns a mapping, else under ``"value"``.
+
+    ``jobs > 1`` evaluates the points across that many worker processes
+    (ordered, so rows are identical to a serial sweep); ``measure`` and
+    the grid values must then be picklable — a module-level function,
+    not a closure.
     """
-    rows = []
-    for point in grid_points(grid):
-        out = measure(**point)
-        row = dict(point)
-        if isinstance(out, Mapping):
-            overlap = set(row) & set(out)
-            if overlap:
-                raise ValueError(f"measurement keys collide with parameters: {overlap}")
-            row.update(out)
-        else:
-            row["value"] = out
-        rows.append(row)
-    return rows
+    points = grid_points(grid)
+    if jobs > 1:
+        from .parallel import parallel_map
+
+        outs = parallel_map(_eval_point, [(measure, p) for p in points], jobs)
+        return [
+            _merge_row(point, out)
+            for point, out in zip(points, outs, strict=True)
+        ]
+    return [_merge_row(point, measure(**point)) for point in points]
 
 
 def sweep1d(

@@ -151,6 +151,35 @@ class MetricsRegistry:
         st.spans += 1
         st.wall_us += event.dur
 
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | dict[str, PhaseStats]") -> None:
+        """Fold another registry's per-phase aggregates into this one.
+
+        Used to combine per-worker registries from a parallel run into
+        the parent's: unlike replaying ring-buffer events, the folded
+        totals are exact even when a worker's ring dropped early events.
+        Phases merge by name, in ``other``'s first-seen order.
+        """
+        phases = other.phases if isinstance(other, MetricsRegistry) else other
+        for name, st in phases.items():
+            tgt = self.phase(name)
+            tgt.kernels += st.kernels
+            tgt.kernel_cycles += st.kernel_cycles
+            tgt.launch_cycles += st.launch_cycles
+            tgt.bandwidth_bound_kernels += st.bandwidth_bound_kernels
+            tgt.work_items += st.work_items
+            tgt.traffic_elements += st.traffic_elements
+            tgt.steal_attempts += st.steal_attempts
+            tgt.steals_succeeded += st.steals_succeeded
+            tgt.chunks_migrated += st.chunks_migrated
+            tgt.spans += st.spans
+            tgt.wall_us += st.wall_us
+            tgt._eff_weighted += st._eff_weighted
+            tgt._eff_weight += st._eff_weight
+            tgt._util_weighted += st._util_weighted
+            tgt._util_weight += st._util_weight
+
     # -- reporting ------------------------------------------------------
 
     @property
