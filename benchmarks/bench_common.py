@@ -15,6 +15,11 @@ tracer (events land in a bounded ring; cycles are unchanged — see
 to let drivers that batch independent cells (``batch_rows``,
 ``bench_parallel_harness.py``) spread them over N worker processes —
 results are bit-identical for any N.
+
+Every run and verdict also lands in the sqlite run store
+(``benchmarks/results/runs.sqlite`` — see :mod:`repro.store`), keyed
+by content so re-runs dedupe. Point ``REPRO_RUN_STORE`` at another
+file to redirect, or set it to ``0``/``off`` to disable.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.engine.context import RunContext
 from repro.gpusim.device import RADEON_HD_7950
 from repro.harness.runner import make_executor, run_gpu_coloring
 from repro.harness.suite import build
+from repro.store import Recorder, store_path_from_env
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "standard")
@@ -37,6 +43,14 @@ JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1"))
 DEVICE = RADEON_HD_7950
 
 _RUN_CACHE: dict[tuple, ColoringResult] = {}
+
+_STORE_PATH = store_path_from_env(RESULTS_DIR / "runs.sqlite")
+#: the benchmark session's recorder (``None`` when recording is off).
+RECORDER: Recorder | None = (
+    Recorder(str(_STORE_PATH), scale=SCALE, source="bench")
+    if _STORE_PATH is not None
+    else None
+)
 
 
 def batch_rows(jobs, *, parallel_jobs: int | None = None) -> list[dict[str, object]]:
@@ -49,7 +63,9 @@ def batch_rows(jobs, *, parallel_jobs: int | None = None) -> list[dict[str, obje
     from repro.harness.batch import run_batch
 
     n = JOBS if parallel_jobs is None else parallel_jobs
-    return run_batch(jobs, device=DEVICE, scale=SCALE, parallel_jobs=n)
+    return run_batch(
+        jobs, device=DEVICE, scale=SCALE, parallel_jobs=n, recorder=RECORDER
+    )
 
 
 def timed_run(
@@ -89,7 +105,15 @@ def timed_run(
             DEVICE, mapping=mapping, schedule=schedule, context=context, **config_kwargs
         )
         _RUN_CACHE[key] = run_gpu_coloring(
-            graph, algorithm, executor, seed=seed, context=context, **algo_kwargs
+            graph,
+            algorithm,
+            executor,
+            seed=seed,
+            context=context,
+            recorder=RECORDER,
+            dataset=dataset,
+            scale=SCALE,
+            **algo_kwargs,
         )
     return _RUN_CACHE[key]
 
@@ -110,17 +134,20 @@ def record(
     shape_holds: bool,
     **details,
 ) -> None:
-    """Append this experiment's reproduction record."""
-    save_records(
-        [
-            ExperimentRecord(
-                experiment_id=experiment_id,
-                paper_artifact=paper_artifact,
-                paper_claim=paper_claim,
-                measured=measured,
-                shape_holds=shape_holds,
-                details=details,
-            )
-        ],
-        RESULTS_DIR / "records.jsonl",
+    """Record this experiment's reproduction verdict.
+
+    The verdict is upserted into the run store (the queryable source
+    of truth) and appended to ``records.jsonl`` (the deprecated export
+    shim — format unchanged for existing consumers).
+    """
+    rec = ExperimentRecord(
+        experiment_id=experiment_id,
+        paper_artifact=paper_artifact,
+        paper_claim=paper_claim,
+        measured=measured,
+        shape_holds=shape_holds,
+        details=details,
     )
+    if RECORDER is not None:
+        RECORDER.record_experiment(rec)
+    save_records([rec], RESULTS_DIR / "records.jsonl")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Backfill the sqlite run store from legacy ``records.jsonl``.
+
+One-shot importer for histories written before the store existed::
+
+    PYTHONPATH=src python scripts/backfill_store.py
+    PYTHONPATH=src python scripts/backfill_store.py \\
+        --jsonl benchmarks/results/records.jsonl \\
+        --store benchmarks/results/runs.sqlite
+
+Equivalent to ``repro-color db ingest``; idempotent — re-running
+upserts the same (experiment id, git rev, scale) rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.store import RunStore, ingest_jsonl  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jsonl",
+        default="benchmarks/results/records.jsonl",
+        help="legacy records.jsonl to import",
+    )
+    parser.add_argument(
+        "--store",
+        default="benchmarks/results/runs.sqlite",
+        help="sqlite run database to create or extend",
+    )
+    parser.add_argument(
+        "--git-rev",
+        default="imported",
+        help="git_rev tag for the imported verdicts",
+    )
+    parser.add_argument(
+        "--scale",
+        default="standard",
+        help="scale tag for the imported verdicts",
+    )
+    args = parser.parse_args(argv)
+    if not Path(args.jsonl).exists():
+        print(f"no records file at {args.jsonl}; nothing to do")
+        return 0
+    with RunStore(args.store) as store:
+        n = ingest_jsonl(store, args.jsonl, git_rev=args.git_rev, scale=args.scale)
+        counts = store.counts()
+    print(
+        f"ingested {n} records from {args.jsonl} -> {args.store} "
+        f"({counts['experiments']} experiment verdicts, {counts['runs']} runs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

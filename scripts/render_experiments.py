@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regenerate the EXPERIMENTS.md summary table from the run store.
+
+The table between the ``<!-- summary:begin -->`` / ``<!-- summary:end -->``
+markers is generated — the store's experiment verdicts are the source of
+truth (``repro.analysis.experiment.records_from_store``). Run after a
+benchmark session::
+
+    PYTHONPATH=src python scripts/render_experiments.py
+
+A store with no verdicts yet is backfilled from the legacy
+``records.jsonl`` first, so the script works on a fresh checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.experiment import records_from_store, render_markdown  # noqa: E402
+from repro.store import RunStore, ingest_jsonl  # noqa: E402
+
+BEGIN = "<!-- summary:begin -->"
+END = "<!-- summary:end -->"
+
+
+def splice(doc: str, table: str) -> str:
+    """Replace the marked region of ``doc`` with ``table``."""
+    try:
+        head, rest = doc.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"error: EXPERIMENTS.md lacks the {BEGIN} / {END} markers"
+        ) from None
+    return f"{head}{BEGIN}\n{table}\n{END}{tail}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        default="benchmarks/results/runs.sqlite",
+        help="run database holding the experiment verdicts",
+    )
+    parser.add_argument(
+        "--jsonl",
+        default="benchmarks/results/records.jsonl",
+        help="legacy records used to backfill an empty store",
+    )
+    parser.add_argument(
+        "--output",
+        default="EXPERIMENTS.md",
+        help="markdown file with the summary markers",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the file would change (CI mode), write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    with RunStore(args.store) as store:
+        if store.counts()["experiments"] == 0 and Path(args.jsonl).exists():
+            n = ingest_jsonl(store, args.jsonl)
+            print(f"backfilled {n} verdicts from {args.jsonl}")
+        records = records_from_store(store)
+    if not records:
+        raise SystemExit("error: no experiment verdicts in the store")
+    table = render_markdown(records)
+
+    out = Path(args.output)
+    doc = out.read_text()
+    updated = splice(doc, table)
+    if args.check:
+        if updated != doc:
+            print(f"{out} is stale; rerun scripts/render_experiments.py")
+            return 1
+        print(f"{out} is up to date ({len(records)} experiments)")
+        return 0
+    out.write_text(updated)
+    print(f"rendered {len(records)} experiment rows -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

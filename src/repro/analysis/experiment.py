@@ -4,15 +4,36 @@ Each benchmark produces an :class:`ExperimentRecord` tying a
 reconstructed paper artifact (table/figure) to the measured result and a
 pass/fail verdict on the *shape* criterion (who wins, by what rough
 factor). ``EXPERIMENTS.md`` is assembled from these records.
+
+The source of truth for records is the sqlite run database
+(:mod:`repro.store`): benches upsert verdicts there, and
+:func:`records_from_store` reads them back as plain
+:class:`ExperimentRecord` views for rendering. The JSON-lines file
+(``benchmarks/results/records.jsonl``) remains as a **deprecated export
+shim** — :func:`save_records` / :func:`load_records` keep their exact
+format and append semantics for existing consumers, and
+``scripts/backfill_store.py`` imports historic lines into the store.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-__all__ = ["ExperimentRecord", "render_markdown", "save_records", "load_records"]
+if TYPE_CHECKING:
+    from ..store.db import RunStore
+
+__all__ = [
+    "ExperimentRecord",
+    "render_markdown",
+    "save_records",
+    "load_records",
+    "records_from_store",
+]
 
 
 @dataclass
@@ -26,6 +47,21 @@ class ExperimentRecord:
     shape_holds: bool  # did the qualitative shape reproduce?
     details: dict[str, object] = field(default_factory=dict)
 
+    @classmethod
+    def from_store_row(cls, row: dict[str, object]) -> "ExperimentRecord":
+        """View one ``experiments`` table row as a record."""
+        details = row.get("details", "{}")
+        if isinstance(details, str):
+            details = json.loads(details or "{}")
+        return cls(
+            experiment_id=str(row["experiment_id"]),
+            paper_artifact=str(row.get("paper_artifact", "")),
+            paper_claim=str(row.get("paper_claim", "")),
+            measured=str(row.get("measured", "")),
+            shape_holds=bool(row.get("shape_holds")),
+            details=dict(details),
+        )
+
     def as_row(self) -> dict[str, object]:
         return {
             "id": self.experiment_id,
@@ -34,6 +70,20 @@ class ExperimentRecord:
             "measured": self.measured,
             "shape": "holds" if self.shape_holds else "DIVERGES",
         }
+
+
+def records_from_store(
+    store: "RunStore", *, scale: str | None = None
+) -> list[ExperimentRecord]:
+    """The newest verdict per experiment id, as record views.
+
+    This is the query path ``EXPERIMENTS.md`` renders from
+    (``scripts/render_experiments.py``).
+    """
+    return [
+        ExperimentRecord.from_store_row(row)
+        for row in store.experiments(scale=scale)
+    ]
 
 
 def render_markdown(records: list[ExperimentRecord]) -> str:
@@ -59,11 +109,14 @@ def _json_default(obj):
 
 
 def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
-    """Append records to a JSON-lines file (one record per line).
+    """Append records to a JSON-lines file (deprecated export shim).
 
-    Safe under concurrent benchmark processes: the batch is serialized
-    first and written as one ``write`` call under an exclusive
-    ``flock``, so parallel appenders cannot interleave partial lines.
+    Safe under concurrent benchmark processes *and* crashes: the
+    combined content (existing lines + this batch) is written to a
+    temp file in the same directory and atomically renamed over the
+    target, all under an exclusive ``flock`` on a sidecar lock file —
+    a reader never observes a truncated trailing line, and parallel
+    appenders cannot interleave or lose batches.
     """
     if not records:
         return
@@ -72,13 +125,22 @@ def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
     payload = "".join(
         json.dumps(asdict(r), default=_json_default) + "\n" for r in records
     )
-    with p.open("a") as fh:
-        _flock_exclusive(fh)
+    lock_path = p.with_name(p.name + ".lock")
+    with lock_path.open("a") as lock:
+        _flock_exclusive(lock)
         try:
-            fh.write(payload)
-            fh.flush()
+            existing = p.read_bytes() if p.exists() else b""
+            tmp = p.with_name(f".{p.name}.{os.getpid()}.tmp")
+            try:
+                with tmp.open("wb") as fh:
+                    fh.write(existing + payload.encode())
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, p)
+            finally:
+                tmp.unlink(missing_ok=True)
         finally:
-            _flock_release(fh)
+            _flock_release(lock)
 
 
 def _flock_exclusive(fh) -> None:
@@ -99,14 +161,27 @@ def _flock_release(fh) -> None:
 
 
 def load_records(path: str | Path) -> list[ExperimentRecord]:
-    """Load records from a JSON-lines file (empty list if absent)."""
+    """Load records from a JSON-lines file (empty list if absent).
+
+    Tolerant of damage: a corrupt or truncated line (e.g. a crash
+    mid-append under the pre-atomic writer) is skipped with a
+    :class:`UserWarning` naming the line, never an exception — one bad
+    line should not take down every consumer of the history.
+    """
     p = Path(path)
     if not p.exists():
         return []
     records = []
     with p.open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(ExperimentRecord(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                warnings.warn(
+                    f"{p}:{lineno}: skipping corrupt record line ({exc})",
+                    stacklevel=2,
+                )
     return records

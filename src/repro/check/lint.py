@@ -28,6 +28,14 @@ a determinism or correctness rationale that ruff/flake8 cannot express:
   appends whose statement sits at loop depth ≥ 1 — a straight-line
   append runs once and is bounded by construction. When a scope's CFG
   cannot be built the rule falls back to flagging (conservative).
+* ``RC005`` **store-owns-records** — no direct writes to
+  ``records.jsonl`` outside :mod:`repro.store` and the
+  ``analysis/experiment.py`` export shim. The sqlite run store is the
+  source of truth for experiment verdicts; a stray
+  ``open("records.jsonl", "a")`` bypasses the atomic locked writer and
+  can corrupt or fork the history. Flags write-mode ``open`` calls
+  (and ``Path.write_text`` / ``write_bytes``) whose arguments mention
+  ``records.jsonl``.
 
 Suppress a finding with an inline ``# check: allow(RCnnn)`` comment.
 """
@@ -54,6 +62,7 @@ RULES: dict[str, str] = {
     "RC002": "wall-clock read inside the simulated-cycle domain (gpusim/coloring)",
     "RC003": "mutation of CSR arrays (indptr/indices) inside kernel code",
     "RC004": "trace-list append inside a loop outside the repro.obs sinks",
+    "RC005": "direct records.jsonl write outside repro.store / the export shim",
 }
 
 #: np.random entry points that take (or wrap) an explicit seed — calls
@@ -86,6 +95,10 @@ _TIME_FUNCS = {
 
 #: path fragments (relative, POSIX) the sim-domain rules apply to.
 _SIM_DOMAIN = ("gpusim/", "coloring/")
+
+#: modules allowed to write ``records.jsonl`` directly: the store
+#: package and the deprecated jsonl export shim it supersedes.
+_RECORDS_WRITERS = ("repro/store/", "analysis/experiment.py")
 
 
 @dataclass(frozen=True)
@@ -157,6 +170,27 @@ def _loop_depths(tree: ast.Module) -> dict[int, int]:
     return depths
 
 
+def _open_mode_writes(node: ast.Call, mode_index: int) -> bool:
+    """Does this ``open``-style call open for writing?
+
+    ``mode_index`` is the positional slot of the mode argument (1 for
+    builtin ``open``, 0 for ``Path.open``). A non-literal mode is
+    treated as writing (conservative); no mode at all defaults to
+    ``"r"``.
+    """
+    mode_node: ast.AST | None = None
+    if len(node.args) > mode_index:
+        mode_node = node.args[mode_index]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return False
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return any(c in mode_node.value for c in "wax+")
+    return True
+
+
 class _Checker(ast.NodeVisitor):
     def __init__(
         self,
@@ -164,10 +198,12 @@ class _Checker(ast.NodeVisitor):
         in_sim_domain: bool,
         in_obs: bool,
         loop_depths: dict[int, int] | None = None,
+        in_records_writer: bool = False,
     ) -> None:
         self.path = path
         self.in_sim_domain = in_sim_domain
         self.in_obs = in_obs
+        self.in_records_writer = in_records_writer
         self.loop_depths = loop_depths if loop_depths is not None else {}
         self.violations: list[LintViolation] = []
 
@@ -287,6 +323,40 @@ class _Checker(ast.NodeVisitor):
                 "iteration; emit through a bounded repro.obs sink instead",
             )
 
+    # -- RC005 ----------------------------------------------------------
+
+    def _check_records_write(self, node: ast.Call) -> None:
+        if self.in_records_writer:
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            is_write = _open_mode_writes(node, mode_index=1)
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            is_write = True
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            is_write = _open_mode_writes(node, mode_index=0)
+        else:
+            return
+        if not is_write:
+            return
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and "records.jsonl" in sub.value
+            ):
+                self._flag(
+                    "RC005",
+                    node,
+                    "direct write to records.jsonl — record through "
+                    "repro.store (or the analysis.experiment shim), which "
+                    "owns the locked atomic writer",
+                )
+                return
+
     # -- dispatch -------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -296,6 +366,7 @@ class _Checker(ast.NodeVisitor):
             self._check_wall_clock(node, chain)
             self._check_setflags(node, chain)
             self._check_trace_append(node, chain)
+        self._check_records_write(node)
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -308,11 +379,12 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _domain_flags(path: str) -> tuple[bool, bool]:
+def _domain_flags(path: str) -> tuple[bool, bool, bool]:
     posix = Path(path).as_posix()
     in_sim = any(frag in posix for frag in _SIM_DOMAIN)
     in_obs = "obs/" in posix or posix.endswith("obs")
-    return in_sim, in_obs
+    in_records_writer = any(frag in posix for frag in _RECORDS_WRITERS)
+    return in_sim, in_obs, in_records_writer
 
 
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
@@ -329,8 +401,14 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    in_sim, in_obs = _domain_flags(path)
-    checker = _Checker(path, in_sim, in_obs, loop_depths=_loop_depths(tree))
+    in_sim, in_obs, in_records_writer = _domain_flags(path)
+    checker = _Checker(
+        path,
+        in_sim,
+        in_obs,
+        loop_depths=_loop_depths(tree),
+        in_records_writer=in_records_writer,
+    )
     checker.visit(tree)
     lines = source.splitlines()
     return [

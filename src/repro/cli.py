@@ -16,9 +16,16 @@ Subcommands::
     repro-color check races --algorithm all    # simulated-race detector
     repro-color check lint src                 # repo-specific lint pass
     repro-color check golden --write           # golden digests / drift
+    repro-color pipeline run report-smoke --store ci.sqlite
+    repro-color report --store ci.sqlite --fail-on-regression
+    repro-color db info                        # run-store table counts
+    repro-color db ingest                      # backfill records.jsonl
 
 Any suite dataset name or a graph file path is accepted wherever a graph
-is expected.
+is expected. ``color``, ``batch`` and ``sweep`` accept ``--store PATH``
+to record runs into the sqlite run database (:mod:`repro.store`);
+``report`` without a graph argument diffs a store against a committed
+baseline snapshot.
 """
 
 from __future__ import annotations
@@ -79,6 +86,25 @@ def _resolve_graph(name: str, scale: str) -> tuple[CSRGraph, str]:
     raise SystemExit(
         f"error: {name!r} is neither a suite dataset ({', '.join(SUITE)}) "
         "nor an existing file"
+    )
+
+
+def _open_recorder(args: argparse.Namespace, *, source: str):
+    """A :class:`repro.store.Recorder` on ``--store``, or ``None``."""
+    store = getattr(args, "store", None)
+    if not store:
+        return None
+    from .store import Recorder
+
+    return Recorder(store, scale=getattr(args, "scale", ""), source=source)
+
+
+def _add_store_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="record runs into this sqlite run database (see repro.store)",
     )
 
 
@@ -147,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full repro.check invariant suite post-run "
         "(CSR + coloring + scheduler/trace validators)",
     )
+    _add_store_option(p_color)
 
     p_cmp = sub.add_parser("compare", help="all GPU algorithms side by side")
     p_cmp.add_argument("graph", help="suite dataset name or graph file")
@@ -154,14 +181,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--device", default="hd7950")
     p_cmp.add_argument("--seed", type=int, default=0)
 
-    p_rep = sub.add_parser("report", help="full run report (counters + load profile)")
-    p_rep.add_argument("graph", help="suite dataset name or graph file")
+    p_rep = sub.add_parser(
+        "report",
+        help="per-run report (with a graph) or store-vs-baseline "
+        "regression report (without one)",
+    )
+    p_rep.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="suite dataset name or graph file; omit for the "
+        "regression report",
+    )
     p_rep.add_argument("--algorithm", "-a", default="maxmin", choices=sorted(GPU_ALGORITHMS))
     p_rep.add_argument("--mapping", choices=MAPPINGS, default="thread")
     p_rep.add_argument("--schedule", choices=SCHEDULES, default="grid")
     p_rep.add_argument("--scale", choices=SCALES, default="small")
     p_rep.add_argument("--device", default="hd7950")
     p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument(
+        "--store",
+        metavar="PATH",
+        default="benchmarks/results/runs.sqlite",
+        help="run database to report on (regression mode)",
+    )
+    p_rep.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="benchmarks/results/baseline.json",
+        help="baseline snapshot to diff against",
+    )
+    p_rep.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit nonzero when any metric regresses beyond its threshold",
+    )
+    p_rep.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the store into --baseline instead of comparing",
+    )
+    p_rep.add_argument(
+        "--strip-wall",
+        action="store_true",
+        help="drop host wall times from the written baseline "
+        "(recommended for committed baselines)",
+    )
+    p_rep.add_argument(
+        "--threshold-cycles",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional cycle increase (default 0.02)",
+    )
+    p_rep.add_argument(
+        "--threshold-colors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="allowed absolute color-count increase (default 0)",
+    )
+    p_rep.add_argument(
+        "--threshold-wall",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional wall-time increase (default 1.0)",
+    )
+    p_rep.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     p_stats = sub.add_parser("stats", help="structure + layout analysis")
     p_stats.add_argument("graph", help="suite dataset name or graph file")
@@ -249,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (suite datasets only; results are "
         "identical to a serial sweep)",
     )
+    _add_store_option(p_sweep)
 
     p_batch = sub.add_parser(
         "batch", help="run an algorithm × dataset matrix, optionally in parallel"
@@ -285,6 +373,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         "-o",
         help="write rows to FILE (.json or .csv) in addition to the table",
+    )
+    _add_store_option(p_batch)
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="declarative experiment pipelines (see repro.store)"
+    )
+    pipe_sub = p_pipe.add_subparsers(dest="pipeline_command", required=True)
+    pp_list = pipe_sub.add_parser("list", help="list built-in pipelines")
+    pp_list.add_argument("--json", action="store_true", help="emit JSON to stdout")
+    pp_run = pipe_sub.add_parser(
+        "run", help="run a pipeline (built-in name or JSON spec file)"
+    )
+    pp_run.add_argument("pipeline", help="built-in pipeline name or spec path")
+    pp_run.add_argument(
+        "--store",
+        metavar="PATH",
+        default="benchmarks/results/runs.sqlite",
+        help="run database the cells record into",
+    )
+    pp_run.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="override the pipeline's declared scale",
+    )
+    pp_run.add_argument("--device", default="hd7950")
+    pp_run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes; recorded rows identical for any value",
+    )
+    pp_run.add_argument(
+        "--deep-validate",
+        action="store_true",
+        help="run the full repro.check invariant suite on every cell",
+    )
+
+    p_db = sub.add_parser("db", help="inspect or backfill the run database")
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+    db_common = {
+        "metavar": "PATH",
+        "default": "benchmarks/results/runs.sqlite",
+        "help": "run database file",
+    }
+    d_info = db_sub.add_parser("info", help="schema version and table counts")
+    d_info.add_argument("--store", **db_common)
+    d_info.add_argument("--json", action="store_true", help="emit JSON to stdout")
+    d_rows = db_sub.add_parser("rows", help="query recorded runs")
+    d_rows.add_argument("--store", **db_common)
+    d_rows.add_argument("--dataset", default=None)
+    d_rows.add_argument("--algorithm", "-a", default=None)
+    d_rows.add_argument("--scale", choices=SCALES, default=None)
+    d_rows.add_argument("--limit", type=int, default=20)
+    d_rows.add_argument("--json", action="store_true", help="emit JSON to stdout")
+    d_ing = db_sub.add_parser(
+        "ingest", help="import legacy records.jsonl verdicts into the store"
+    )
+    d_ing.add_argument("--store", **db_common)
+    d_ing.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default="benchmarks/results/records.jsonl",
+        help="records.jsonl file to import",
+    )
+    d_ing.add_argument(
+        "--git-rev",
+        default="imported",
+        help="git_rev tag for the imported verdicts",
+    )
+    d_ing.add_argument(
+        "--ingest-scale",
+        default="standard",
+        help="scale tag for the imported verdicts",
     )
 
     p_check = sub.add_parser(
@@ -455,9 +618,22 @@ def _cmd_color(args: argparse.Namespace) -> int:
         algo_kwargs = (
             {"priority": args.priority} if args.algorithm in ("maxmin", "jp") else {}
         )
-        result = run_gpu_coloring(
-            graph, args.algorithm, executor, seed=args.seed, context=ctx, **algo_kwargs
-        )
+        recorder = _open_recorder(args, source="cli:color")
+        try:
+            result = run_gpu_coloring(
+                graph,
+                args.algorithm,
+                executor,
+                seed=args.seed,
+                context=ctx,
+                recorder=recorder,
+                dataset=name,
+                scale=args.scale,
+                **algo_kwargs,
+            )
+        finally:
+            if recorder is not None:
+                recorder.close()
         if ring is not None and args.trace:
             out = Path(args.trace)
             fmt = _export_trace(ring, out)
@@ -513,13 +689,173 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .analysis.report import run_report
+    if args.graph is not None:
+        from .analysis.report import run_report
 
-    graph, name = _resolve_graph(args.graph, args.scale)
-    ctx = _make_context(args)
-    executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
-    result = run_gpu_coloring(graph, args.algorithm, executor, seed=args.seed, context=ctx)
-    print(run_report(graph, result, executor, graph_name=name))
+        graph, name = _resolve_graph(args.graph, args.scale)
+        ctx = _make_context(args)
+        executor = ctx.executor(mapping=args.mapping, schedule=args.schedule)
+        result = run_gpu_coloring(
+            graph, args.algorithm, executor, seed=args.seed, context=ctx
+        )
+        print(run_report(graph, result, executor, graph_name=name))
+        return 0
+    return _cmd_report_regressions(args)
+
+
+def _cmd_report_regressions(args: argparse.Namespace) -> int:
+    """``repro report`` without a graph: diff the store vs. a baseline."""
+    from .store import (
+        RunStore,
+        Thresholds,
+        compare,
+        load_baseline,
+        save_baseline,
+        snapshot,
+    )
+
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise SystemExit(
+            f"error: no run database at {store_path}; record some runs "
+            "first (repro pipeline run ..., repro batch --store ...)"
+        )
+    with RunStore(store_path) as store:
+        if args.write_baseline:
+            snap = snapshot(store, strip_wall=args.strip_wall)
+            save_baseline(snap, args.baseline)
+            print(
+                f"baseline: {len(snap['runs'])} cells, "
+                f"{len(snap['experiments'])} experiment verdicts -> {args.baseline}"
+            )
+            return 0
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            raise SystemExit(
+                f"error: no baseline at {baseline_path}; create one with "
+                "--write-baseline"
+            )
+        defaults = Thresholds()
+        thresholds = Thresholds(
+            cycles=(
+                args.threshold_cycles
+                if args.threshold_cycles is not None
+                else defaults.cycles
+            ),
+            colors=(
+                args.threshold_colors
+                if args.threshold_colors is not None
+                else defaults.colors
+            ),
+            wall=(
+                args.threshold_wall
+                if args.threshold_wall is not None
+                else defaults.wall
+            ),
+        )
+        report = compare(store, load_baseline(baseline_path), thresholds=thresholds)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if (args.fail_on_regression and not report.ok) else 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .store import PIPELINES, Recorder, resolve_pipeline, run_pipeline
+
+    if args.pipeline_command == "list":
+        if args.json:
+            print(
+                json.dumps(
+                    [p.to_spec() for p in PIPELINES.values()], indent=2
+                )
+            )
+        else:
+            rows = [
+                {
+                    "pipeline": p.name,
+                    "scale": p.scale,
+                    "steps": len(p.steps),
+                    "cells": len(p.jobs()),
+                    "description": p.description,
+                }
+                for p in PIPELINES.values()
+            ]
+            print(format_table(rows, title="built-in pipelines"))
+        return 0
+    try:
+        pipeline = resolve_pipeline(args.pipeline)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    scale = args.scale if args.scale is not None else pipeline.scale
+    with Recorder(args.store, scale=scale) as recorder:
+        rows = run_pipeline(
+            pipeline,
+            recorder,
+            device=named_device(args.device),
+            scale=scale,
+            jobs=args.jobs,
+            deep_validate=args.deep_validate,
+        )
+        counts = recorder.store.counts()
+    workers = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    print(
+        f"pipeline {pipeline.name}: {len(rows)} cells recorded "
+        f"(scale={scale}{workers}) -> {args.store} "
+        f"[{counts['runs']} runs, {counts['graphs']} graphs]"
+    )
+    return 0
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    from .store import RunStore, ingest_jsonl, run_key
+
+    store_path = Path(args.store)
+    if args.db_command != "ingest" and not store_path.exists():
+        raise SystemExit(f"error: no run database at {store_path}")
+    with RunStore(store_path) as store:
+        if args.db_command == "info":
+            doc = {"store": str(store_path), "schema": store.schema_version()}
+            doc.update(store.counts())
+            if args.json:
+                print(json.dumps(doc, indent=2))
+            else:
+                print(format_kv(doc, title="run database"))
+            return 0
+        if args.db_command == "rows":
+            rows = store.runs(
+                dataset=args.dataset,
+                algorithm=args.algorithm,
+                scale=args.scale,
+                limit=args.limit,
+            )
+            if args.json:
+                print(json.dumps(rows, indent=2))
+                return 0
+            display = [
+                {
+                    "key": run_key(r),
+                    "cycles": round(float(r["cycles"]), 1),
+                    "colors": r["colors"],
+                    "iters": r["iterations"],
+                    "rev": r["git_rev"],
+                    "runs": r["runs_count"],
+                    "source": r["source"],
+                }
+                for r in rows
+            ]
+            print(format_table(display, title=f"runs (newest {len(rows)})"))
+            return 0
+        # ingest
+        n = ingest_jsonl(
+            store, args.jsonl, git_rev=args.git_rev, scale=args.ingest_scale
+        )
+        counts = store.counts()
+        print(
+            f"ingested {n} records from {args.jsonl} -> {store_path} "
+            f"[{counts['experiments']} experiment verdicts]"
+        )
     return 0
 
 
@@ -681,6 +1017,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         graph, name = _resolve_graph(args.graph, args.scale)
         ctx = _make_context(args)
+        recorder = _open_recorder(args, source="cli:sweep")
         rows = []
         for value in args.values:
             kwargs = {args.parameter: value}
@@ -690,7 +1027,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 mapping=args.mapping, schedule=args.schedule, **kwargs
             )
             result = run_gpu_coloring(
-                graph, args.algorithm, executor, seed=args.seed, context=ctx
+                graph,
+                args.algorithm,
+                executor,
+                seed=args.seed,
+                context=ctx,
+                recorder=recorder,
+                dataset=name,
+                scale=args.scale,
             )
             rows.append(
                 {
@@ -700,6 +1044,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "iterations": result.num_iterations,
                 }
             )
+        if recorder is not None:
+            recorder.close()
     print(
         format_table(
             rows,
@@ -730,12 +1076,18 @@ def _sweep_rows_parallel(args: argparse.Namespace, jobs: int) -> list[dict]:
                 label=f"{args.graph}:{args.parameter}={value}",
             )
         )
-    batch_rows = run_batch(
-        cells,
-        device=named_device(args.device),
-        scale=args.scale,
-        parallel_jobs=jobs,
-    )
+    recorder = _open_recorder(args, source="cli:sweep")
+    try:
+        batch_rows = run_batch(
+            cells,
+            device=named_device(args.device),
+            scale=args.scale,
+            parallel_jobs=jobs,
+            recorder=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     return [
         {
             args.parameter: value,
@@ -777,13 +1129,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for ds in datasets
         for algo in algorithms
     ]
-    rows = run_batch(
-        jobs,
-        device=named_device(args.device),
-        scale=args.scale,
-        deep_validate=args.deep_validate,
-        parallel_jobs=args.jobs,
-    )
+    recorder = _open_recorder(args, source="cli:batch")
+    try:
+        rows = run_batch(
+            jobs,
+            device=named_device(args.device),
+            scale=args.scale,
+            deep_validate=args.deep_validate,
+            parallel_jobs=args.jobs,
+            recorder=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     display = [
         {
             "job": r["job"],
@@ -1081,6 +1439,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "check": _cmd_check,
+        "pipeline": _cmd_pipeline,
+        "db": _cmd_db,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from ..coloring.kernels import ExecutionConfig, GPUExecutor
 from ..engine.context import RunContext
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from ..graphs.csr import CSRGraph
+
+if TYPE_CHECKING:
+    from ..store.recorder import Recorder
 
 __all__ = ["TuneOutcome", "candidate_configs", "autotune"]
 
@@ -96,6 +100,8 @@ def autotune(
     probe_fraction: float = 0.3,
     seed: int | None = None,
     context: RunContext | None = None,
+    recorder: "Recorder | None" = None,
+    dataset: str = "",
 ) -> TuneOutcome:
     """Pick the fastest configuration for ``graph`` by probing.
 
@@ -104,6 +110,9 @@ def autotune(
     the two leaders, as a tie-break). Deterministic given ``seed``.
     All probe executors share one context, so the tie-break rescoring
     (and any caller reusing the context afterwards) hits warm plans.
+
+    With a ``recorder``, the winning configuration and full scoreboard
+    are upserted into the run store's ``tunings`` table.
     """
     if not 0.0 < probe_fraction <= 1.0:
         raise ValueError("probe_fraction must be in (0, 1]")
@@ -167,4 +176,7 @@ def autotune(
                 schedule=best_cfg.schedule,
                 best_cycles=best_cycles,
             )
-    return TuneOutcome(best=best_cfg, best_cycles=best_cycles, scoreboard=scoreboard)
+    outcome = TuneOutcome(best=best_cfg, best_cycles=best_cycles, scoreboard=scoreboard)
+    if recorder is not None:
+        recorder.record_tuning(graph, outcome, seed=seed, dataset=dataset)
+    return outcome

@@ -10,15 +10,20 @@ from __future__ import annotations
 
 import csv
 import json
+import time
 from collections.abc import Sequence
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..engine.context import RunContext
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from .runner import make_executor, run_gpu_coloring
 from .suite import SUITE, build
+
+if TYPE_CHECKING:
+    from ..store.recorder import Recorder
 
 __all__ = ["BatchJob", "run_batch", "run_batch_cell", "save_rows_json", "save_rows_csv"]
 
@@ -49,12 +54,18 @@ def run_batch_cell(
     *,
     device: DeviceConfig | None = None,
     deep_validate: bool = False,
+    recorder: "Recorder | None" = None,
+    scale: str = "",
 ) -> dict[str, object]:
     """Run one cell of the matrix under ``ctx`` and return its row.
 
     Shared by the serial loop and the process-pool workers
     (:mod:`repro.harness.parallel`), so both paths report identical
     rows by construction.  ``device`` defaults to the context's.
+
+    With a ``recorder``, the cell additionally lands in the run store
+    (with its host wall time); the returned row is unchanged either
+    way, so recorded and unrecorded batches stay bit-identical.
     """
     executor = make_executor(
         device if device is not None else ctx.device,
@@ -69,12 +80,27 @@ def run_batch_cell(
         else nullcontext()
     )
     with span:
+        t0 = time.perf_counter()
         result = run_gpu_coloring(
             graph,
             job.algorithm,
             executor,
             seed=job.seed,
             deep_validate=deep_validate,
+        )
+        wall_ms = (time.perf_counter() - t0) * 1e3
+    if recorder is not None:
+        recorder.record_run(
+            graph=graph,
+            result=result,
+            seed=job.seed,
+            dataset=job.dataset,
+            scale=scale or None,
+            mapping=job.mapping,
+            schedule=job.schedule,
+            config=executor.config,
+            counters=executor.counters,
+            wall_ms=wall_ms,
         )
     return {
         "job": job.name,
@@ -102,6 +128,7 @@ def run_batch(
     context: RunContext | None = None,
     deep_validate: bool = False,
     parallel_jobs: int = 1,
+    recorder: "Recorder | None" = None,
 ) -> list[dict[str, object]]:
     """Run every job, validating each coloring; returns one row per job.
 
@@ -124,6 +151,12 @@ def run_batch(
     ``deep_validate`` runs the full :mod:`repro.check` invariant suite
     on every cell (see :func:`~repro.harness.runner.run_gpu_coloring`);
     the first violating cell raises, naming the job.
+
+    With a ``recorder``, every cell also lands in the run store. In
+    parallel mode each worker rebuilds the recorder from its picklable
+    spec and writes its own cells concurrently (WAL mode); the
+    content-keyed upsert keeps the recorded row set identical to a
+    serial run.
     """
     if parallel_jobs > 1:
         from .parallel import run_batch_parallel
@@ -135,6 +168,7 @@ def run_batch(
             jobs=parallel_jobs,
             deep_validate=deep_validate,
             context=context,
+            recorder=recorder,
         )
     ctx = context if context is not None else RunContext(device=device)
     rows: list[dict[str, object]] = []
@@ -144,7 +178,15 @@ def run_batch(
         else:
             raise KeyError(f"unknown dataset {job.dataset!r}")
         rows.append(
-            run_batch_cell(job, graph, ctx, device=device, deep_validate=deep_validate)
+            run_batch_cell(
+                job,
+                graph,
+                ctx,
+                device=device,
+                deep_validate=deep_validate,
+                recorder=recorder,
+                scale=scale,
+            )
         )
     return rows
 

@@ -41,6 +41,7 @@ from ..graphs.csr import CSRGraph
 if TYPE_CHECKING:
     from ..engine.context import RunContext
     from ..gpusim.device import DeviceConfig
+    from ..store.recorder import Recorder, RecorderSpec
     from .batch import BatchJob
 
 __all__ = [
@@ -241,21 +242,39 @@ def parallel_map(
 
 
 def _batch_cell(
-    payload: tuple["BatchJob", SharedGraphRef, "DeviceConfig", bool, bool],
+    payload: tuple[
+        "BatchJob", SharedGraphRef, "DeviceConfig", bool, bool,
+        "RecorderSpec | None", str,
+    ],
 ) -> tuple[dict[str, object], list[dict], dict]:
-    """Run one batch cell in a worker: fresh context, shared graph."""
+    """Run one batch cell in a worker: fresh context, shared graph.
+
+    When the payload carries a :class:`~repro.store.recorder.RecorderSpec`,
+    the worker rebuilds a recorder on the shared WAL-mode database and
+    records its own cell — concurrent writers, one store.
+    """
     from ..engine.context import RunContext
     from ..obs.registry import MetricsRegistry
     from .batch import run_batch_cell
 
-    job, ref, device, deep_validate, trace = payload
+    job, ref, device, deep_validate, trace, spec, scale = payload
     graph = attach_graph(ref)
     ctx = RunContext(device=device)
     ring = None
     registry = MetricsRegistry()
     if trace:
         ring = ctx.enable_tracing(registry=registry)
-    row = run_batch_cell(job, graph, ctx, deep_validate=deep_validate)
+    recorder = spec.build() if spec is not None else None
+    try:
+        row = run_batch_cell(
+            job, graph, ctx,
+            deep_validate=deep_validate,
+            recorder=recorder,
+            scale=scale,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     events = [e.to_dict() for e in ring.events] if ring is not None else []
     phases = registry.phases if trace else {}
     return row, events, phases
@@ -270,6 +289,7 @@ def run_batch_parallel(
     deep_validate: bool = False,
     context: "RunContext | None" = None,
     start_method: str | None = None,
+    recorder: "Recorder | None" = None,
 ) -> list[dict[str, object]]:
     """Execute batch cells across ``jobs`` worker processes.
 
@@ -280,6 +300,11 @@ def run_batch_parallel(
     replayed into its sink in job order — including any
     :class:`~repro.obs.registry.MetricsRegistry` teed onto it — so the
     merged stream matches a serial traced run cell for cell.
+
+    A ``recorder`` crosses into the workers as its picklable spec:
+    every worker opens the same sqlite database (WAL mode) and records
+    its own cells, exercising genuinely concurrent writes while the
+    content-keyed upsert keeps the stored row set identical to serial.
     """
     from .suite import SUITE, build
 
@@ -287,12 +312,13 @@ def run_batch_parallel(
         if job.dataset not in SUITE:
             raise KeyError(f"unknown dataset {job.dataset!r}")
     trace = context is not None and context.tracer is not None
+    spec = recorder.spec if recorder is not None else None
     with SharedGraphStore() as store:
         for job in jobs_list:
             if job.dataset not in store._refs:
                 store.publish(job.dataset, build(job.dataset, scale))
         payloads = [
-            (job, store.ref(job.dataset), device, deep_validate, trace)
+            (job, store.ref(job.dataset), device, deep_validate, trace, spec, scale)
             for job in jobs_list
         ]
         results = parallel_map(

@@ -8,8 +8,10 @@ to run.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from contextlib import nullcontext
+from typing import TYPE_CHECKING
 
 from ..coloring.base import ColoringResult
 from ..coloring.edge_centric import edge_centric_maxmin
@@ -24,6 +26,9 @@ from ..engine.context import RunContext, resolve_context
 from ..gpusim.device import RADEON_HD_7950, DeviceConfig
 from ..gpusim.memory import MemoryModel
 from ..graphs.csr import CSRGraph
+
+if TYPE_CHECKING:
+    from ..store.recorder import Recorder
 
 __all__ = [
     "GPU_ALGORITHMS",
@@ -103,6 +108,9 @@ def run_gpu_coloring(
     validate: bool = True,
     deep_validate: bool = False,
     context: RunContext | None = None,
+    recorder: "Recorder | None" = None,
+    dataset: str = "",
+    scale: str = "",
     **kwargs,
 ) -> ColoringResult:
     """Run a GPU algorithm (timed when ``executor`` given) and validate.
@@ -120,6 +128,11 @@ def run_gpu_coloring(
     :class:`~repro.check.validators.CheckFailedError` on any violation.
     Validators only *read* the finished run, so a deep-validated run is
     cycle-identical to a plain one.
+
+    With a ``recorder``, the validated result lands in the run store
+    under the executor's *effective* configuration (digest-stable
+    across call paths), tagged with ``dataset``/``scale`` and the host
+    wall time of the run.
     """
     try:
         fn = GPU_ALGORITHMS[algorithm]
@@ -144,7 +157,9 @@ def run_gpu_coloring(
         else nullcontext()
     )
     with span:
+        t0 = time.perf_counter()
         result = fn(graph, executor, seed=seed, context=context, **kwargs)
+        wall_ms = (time.perf_counter() - t0) * 1e3
         if validate:
             result.validate(graph)
     if deep_validate:
@@ -154,6 +169,21 @@ def run_gpu_coloring(
         validate_run(
             graph, result, events=_trace_events(ctx), device=device
         ).raise_on_error()
+    if recorder is not None:
+        cfg = executor.config if executor is not None else None
+        recorder.record_run(
+            graph=graph,
+            result=result,
+            seed=seed if seed is not None else (ctx.seed if ctx is not None else 0),
+            dataset=dataset,
+            scale=scale or None,
+            mapping=cfg.mapping if cfg is not None else "thread",
+            schedule=cfg.schedule if cfg is not None else "grid",
+            config=cfg,
+            algo_kwargs=kwargs or None,
+            counters=executor.counters if executor is not None else None,
+            wall_ms=wall_ms,
+        )
     return result
 
 

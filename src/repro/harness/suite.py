@@ -16,7 +16,15 @@ from ..graphs import generators as gen
 from ..graphs.csr import CSRGraph
 from ..graphs.stats import GraphSummary, summarize
 
-__all__ = ["DatasetSpec", "SUITE", "SCALES", "suite_names", "build", "summarize_suite"]
+__all__ = [
+    "DatasetSpec",
+    "SUITE",
+    "SCALES",
+    "suite_names",
+    "build",
+    "dataset_digest",
+    "summarize_suite",
+]
 
 SCALES = ("tiny", "small", "standard")
 
@@ -180,6 +188,18 @@ def build(name: str, scale: str = "standard") -> CSRGraph:
         else:
             _CACHE[key] = SUITE[name].build(scale)
     return _CACHE[key]
+
+
+def dataset_digest(name: str, scale: str = "standard") -> str:
+    """The run-store content digest of suite graph ``name`` at ``scale``.
+
+    Builds (or fetches the cached) graph and hashes its CSR arrays —
+    the same digest :meth:`repro.store.Recorder.record_run` keys rows
+    by, so callers can join suite names against store rows.
+    """
+    from ..store.db import graph_digest
+
+    return graph_digest(build(name, scale))
 
 
 def summarize_suite(scale: str = "standard") -> list[GraphSummary]:

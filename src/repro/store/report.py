@@ -1,0 +1,263 @@
+"""Regression reports — diff the run store against a committed baseline.
+
+The store makes "did this PR make anything slower or worse?" a query.
+This module turns that query into a CI gate:
+
+* :func:`snapshot` reduces a store to its comparable surface — the
+  newest run per content key (cycles, colors, iterations, simulated
+  and host wall time) plus the newest verdict per experiment.
+* :func:`save_baseline` / :func:`load_baseline` persist a snapshot as
+  human-diffable JSON (``benchmarks/results/baseline.json`` is the
+  committed one).
+* :func:`compare` diffs a current snapshot against a baseline under
+  per-metric :class:`Thresholds` and returns a
+  :class:`RegressionReport`; ``repro report --fail-on-regression``
+  exits nonzero when it finds any.
+
+Keys deliberately exclude the git revision (see
+:func:`~repro.store.db.run_key`): the report compares the *same cell*
+across revisions. Host wall time is gated only when the baseline
+recorded one — simulated cycles are deterministic, wall clocks are
+not, so committed baselines usually strip wall times
+(``--strip-wall``) and lean on the cycle gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .db import SCHEMA_VERSION, RunStore
+
+__all__ = [
+    "Thresholds",
+    "Regression",
+    "RegressionReport",
+    "snapshot",
+    "save_baseline",
+    "load_baseline",
+    "compare",
+]
+
+#: run metrics carried into a snapshot, in stored-row column names.
+_SNAPSHOT_METRICS = ("cycles", "colors", "iterations", "time_ms", "wall_ms")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Per-metric regression tolerances.
+
+    ``cycles`` and ``wall`` are fractional increases (0.05 = +5 % is
+    still fine); ``colors`` and ``iterations`` are absolute increases.
+    A ``None`` threshold disables that gate.
+    """
+
+    cycles: float | None = 0.02
+    colors: int | None = 0
+    iterations: int | None = 0
+    wall: float | None = 1.0
+
+    def limit(self, metric: str, base: float) -> float | None:
+        """Largest acceptable current value for ``metric`` at ``base``."""
+        if metric in ("cycles", "time_ms"):
+            return None if self.cycles is None else base * (1.0 + self.cycles)
+        if metric == "colors":
+            return None if self.colors is None else base + self.colors
+        if metric == "iterations":
+            return None if self.iterations is None else base + self.iterations
+        if metric == "wall_ms":
+            return None if self.wall is None else base * (1.0 + self.wall)
+        raise KeyError(f"unknown metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric of one cell that got worse beyond its threshold."""
+
+    key: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def fraction(self) -> float:
+        return self.delta / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        if self.metric in ("cycles", "time_ms", "wall_ms"):
+            return (
+                f"{self.key}: {self.metric} {self.baseline:g} → "
+                f"{self.current:g} (+{100 * self.fraction:.1f} %)"
+            )
+        return (
+            f"{self.key}: {self.metric} {self.baseline:g} → {self.current:g} "
+            f"(+{self.delta:g})"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline-vs-current comparison."""
+
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: list[Regression] = field(default_factory=list)
+    broken_experiments: list[str] = field(default_factory=list)
+    fixed_experiments: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)  # in baseline, not current
+    new: list[str] = field(default_factory=list)  # in current, not baseline
+    matched: int = 0
+    experiments_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.broken_experiments
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "REGRESSIONS"
+        lines = [
+            f"report: {status} — {self.matched} cells compared, "
+            f"{len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements, "
+            f"{self.experiments_checked} experiment verdicts "
+            f"({len(self.broken_experiments)} newly diverging), "
+            f"{len(self.missing)} missing, {len(self.new)} new"
+        ]
+        lines.extend(f"  REGRESSION {r.describe()}" for r in self.regressions)
+        lines.extend(
+            f"  DIVERGES {eid}: shape held in baseline, diverges now"
+            for eid in self.broken_experiments
+        )
+        lines.extend(
+            f"  improved {r.describe()}" for r in self.improvements[:10]
+        )
+        if len(self.improvements) > 10:
+            lines.append(f"  … and {len(self.improvements) - 10} more improvements")
+        lines.extend(
+            f"  fixed {eid}: diverged in baseline, holds now"
+            for eid in self.fixed_experiments
+        )
+        lines.extend(f"  missing from current: {k}" for k in self.missing)
+        if self.new:
+            lines.append(f"  new cells (not in baseline): {len(self.new)}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "matched": self.matched,
+            "experiments_checked": self.experiments_checked,
+            "regressions": [
+                {
+                    "key": r.key,
+                    "metric": r.metric,
+                    "baseline": r.baseline,
+                    "current": r.current,
+                }
+                for r in self.regressions
+            ],
+            "improvements": [
+                {
+                    "key": r.key,
+                    "metric": r.metric,
+                    "baseline": r.baseline,
+                    "current": r.current,
+                }
+                for r in self.improvements
+            ],
+            "broken_experiments": self.broken_experiments,
+            "fixed_experiments": self.fixed_experiments,
+            "missing": self.missing,
+            "new": self.new,
+        }
+
+
+def snapshot(store: RunStore, *, strip_wall: bool = False) -> dict[str, Any]:
+    """The comparable surface of a store (newest row per key)."""
+    runs: dict[str, dict[str, Any]] = {}
+    for key, row in store.latest_runs().items():
+        metrics = {m: row[m] for m in _SNAPSHOT_METRICS if row[m] is not None}
+        if strip_wall:
+            metrics.pop("wall_ms", None)
+        runs[key] = metrics
+    experiments = {
+        row["experiment_id"]: {"shape_holds": bool(row["shape_holds"])}
+        for row in store.experiments()
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "runs": dict(sorted(runs.items())),
+        "experiments": dict(sorted(experiments.items())),
+    }
+
+
+def save_baseline(snap: dict[str, Any], path: str | Path) -> None:
+    """Persist a snapshot as sorted, human-diffable JSON."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "runs" not in doc:
+        raise ValueError(f"{path} is not a baseline snapshot (no 'runs' key)")
+    return doc
+
+
+def compare(
+    current: RunStore | dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    thresholds: Thresholds | None = None,
+) -> RegressionReport:
+    """Diff a current store (or snapshot) against a baseline snapshot."""
+    thresholds = thresholds if thresholds is not None else Thresholds()
+    snap = current if isinstance(current, dict) else snapshot(current)
+    report = RegressionReport()
+
+    base_runs: dict[str, dict] = baseline.get("runs", {})
+    cur_runs: dict[str, dict] = snap.get("runs", {})
+    for key, base_metrics in base_runs.items():
+        cur_metrics = cur_runs.get(key)
+        if cur_metrics is None:
+            report.missing.append(key)
+            continue
+        report.matched += 1
+        for metric in _SNAPSHOT_METRICS:
+            base_v = base_metrics.get(metric)
+            cur_v = cur_metrics.get(metric)
+            if base_v is None or cur_v is None:
+                continue
+            limit = thresholds.limit(metric, float(base_v))
+            if limit is not None and float(cur_v) > limit:
+                report.regressions.append(
+                    Regression(key, metric, float(base_v), float(cur_v))
+                )
+            elif float(cur_v) < float(base_v) and metric != "wall_ms":
+                report.improvements.append(
+                    Regression(key, metric, float(base_v), float(cur_v))
+                )
+    report.new = sorted(set(cur_runs) - set(base_runs))
+    report.missing.sort()
+
+    base_exps: dict[str, dict] = baseline.get("experiments", {})
+    cur_exps: dict[str, dict] = snap.get("experiments", {})
+    for eid, base_e in base_exps.items():
+        cur_e = cur_exps.get(eid)
+        if cur_e is None:
+            continue
+        report.experiments_checked += 1
+        held, holds = bool(base_e.get("shape_holds")), bool(cur_e.get("shape_holds"))
+        if held and not holds:
+            report.broken_experiments.append(eid)
+        elif holds and not held:
+            report.fixed_experiments.append(eid)
+    report.broken_experiments.sort()
+    report.fixed_experiments.sort()
+    return report

@@ -1,8 +1,11 @@
 """Unit tests for experiment reproduction records."""
 
+import pytest
+
 from repro.analysis.experiment import (
     ExperimentRecord,
     load_records,
+    records_from_store,
     render_markdown,
     save_records,
 )
@@ -52,3 +55,74 @@ class TestPersistence:
         p = tmp_path / "deep" / "dir" / "r.jsonl"
         save_records([rec()], p)
         assert len(load_records(p)) == 1
+
+    def test_corrupt_trailing_line_warned_and_skipped(self, tmp_path):
+        p = tmp_path / "records.jsonl"
+        save_records([rec("E1"), rec("E2")], p)
+        with p.open("a") as fh:
+            fh.write('{"experiment_id": "E3", "paper_cl')  # torn write
+        with pytest.warns(UserWarning, match="skipping corrupt record line"):
+            loaded = load_records(p)
+        assert [r.experiment_id for r in loaded] == ["E1", "E2"]
+
+    def test_corrupt_middle_line_skipped_rest_loads(self, tmp_path):
+        p = tmp_path / "records.jsonl"
+        save_records([rec("E1")], p)
+        with p.open("a") as fh:
+            fh.write("not json at all\n")
+        save_records([rec("E2")], p)
+        with pytest.warns(UserWarning, match=":2:"):
+            loaded = load_records(p)
+        assert [r.experiment_id for r in loaded] == ["E1", "E2"]
+
+    def test_save_leaves_no_tmp_droppings(self, tmp_path):
+        p = tmp_path / "records.jsonl"
+        save_records([rec("E1")], p)
+        save_records([rec("E2")], p)
+        # only the lock sidecar may remain, never a .tmp partial
+        leftovers = [
+            f.name for f in tmp_path.iterdir() if f.name != "records.jsonl"
+        ]
+        assert leftovers in ([], ["records.jsonl.lock"])
+        assert len(load_records(p)) == 2
+
+
+class TestStoreView:
+    def test_records_from_store_roundtrip(self, tmp_path):
+        from repro.store import Recorder
+
+        with Recorder(
+            str(tmp_path / "runs.sqlite"), git_rev="t", scale="tiny"
+        ) as recorder:
+            recorder.record_experiment(rec("E2"))
+            recorder.record_experiment(rec("E1", holds=False))
+            loaded = records_from_store(recorder.store)
+        assert [r.experiment_id for r in loaded] == ["E1", "E2"]
+        assert loaded[0].shape_holds is False
+        assert loaded[0].details == {"k": 1}
+        assert loaded[0].paper_artifact == "Table 1"
+
+    def test_from_store_row_parses_details_json(self):
+        row = {
+            "experiment_id": "E7",
+            "paper_artifact": "Fig 2",
+            "paper_claim": "c",
+            "measured": "m",
+            "shape_holds": 1,
+            "details": '{"ratio": 1.5}',
+        }
+        r = ExperimentRecord.from_store_row(row)
+        assert r.shape_holds is True
+        assert r.details == {"ratio": 1.5}
+
+    def test_store_view_renders_same_markdown_as_jsonl(self, tmp_path):
+        from repro.store import Recorder
+
+        records = [rec("E1"), rec("E2", holds=False)]
+        save_records(records, tmp_path / "records.jsonl")
+        with Recorder(str(tmp_path / "runs.sqlite"), git_rev="t") as recorder:
+            for r in records:
+                recorder.record_experiment(r)
+            from_store = records_from_store(recorder.store)
+        from_jsonl = load_records(tmp_path / "records.jsonl")
+        assert render_markdown(from_store) == render_markdown(from_jsonl)

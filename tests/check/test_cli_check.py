@@ -112,7 +112,7 @@ class TestCheckLint:
         rc = main(["check", "lint", "--explain", "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        assert set(payload["rules"]) == {"RC001", "RC002", "RC003", "RC004"}
+        assert set(payload["rules"]) == {"RC001", "RC002", "RC003", "RC004", "RC005"}
 
 
 class TestCheckGolden:

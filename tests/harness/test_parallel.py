@@ -214,6 +214,39 @@ class TestRunBatchParallel:
         assert a.phase("steal").steal_attempts == 4
 
 
+class TestRunBatchRecording:
+    def test_store_rows_bit_identical_jobs_1_vs_4(self, tmp_path):
+        # four workers upsert into one WAL database; the content-keyed
+        # rows must equal a serial run's, byte for byte
+        from repro.store import Recorder
+
+        with Recorder(
+            str(tmp_path / "serial.sqlite"), git_rev="t", scale="tiny"
+        ) as rec:
+            serial_rows = run_batch(JOBS, scale="tiny", parallel_jobs=1, recorder=rec)
+            serial = rec.store.canonical_rows()
+        with Recorder(
+            str(tmp_path / "par.sqlite"), git_rev="t", scale="tiny"
+        ) as rec:
+            par_rows = run_batch(JOBS, scale="tiny", parallel_jobs=4, recorder=rec)
+            parallel = rec.store.canonical_rows()
+        assert serial_rows == par_rows
+        assert len(serial) == len(JOBS)
+        assert serial == parallel
+
+    def test_recorded_rows_keep_wall_time_out_of_batch_rows(self, tmp_path):
+        # wall clocks land in the store only; batch rows stay volatile-free
+        from repro.store import Recorder
+
+        with Recorder(
+            str(tmp_path / "runs.sqlite"), git_rev="t", scale="tiny"
+        ) as rec:
+            rows = run_batch(JOBS[:2], scale="tiny", recorder=rec)
+            stored = rec.store.runs()
+        assert all("wall_ms" not in row for row in rows)
+        assert all(r["wall_ms"] is not None and r["wall_ms"] >= 0 for r in stored)
+
+
 class TestSweepJobs:
     def test_parallel_sweep_matches_serial(self):
         grid = {"chunk_size": [256, 512, 1024], "scale": [0.5, 2.0]}

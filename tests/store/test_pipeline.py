@@ -1,0 +1,136 @@
+"""Unit tests for declarative pipelines."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    PIPELINES,
+    Pipeline,
+    PipelineStep,
+    Recorder,
+    load_pipeline,
+    pipeline_from_spec,
+    resolve_pipeline,
+    run_pipeline,
+)
+
+
+def small_pipeline():
+    return Pipeline(
+        name="unit",
+        scale="tiny",
+        description="two-step unit matrix",
+        steps=(
+            PipelineStep(
+                name="grid",
+                datasets=("rmat", "grid2d"),
+                algorithms=("maxmin", "jp"),
+            ),
+            PipelineStep(
+                name="stealing",
+                datasets=("rmat",),
+                schedules=("stealing",),
+                seeds=(0, 1),
+                config={"chunk_size": 512},
+            ),
+        ),
+    )
+
+
+class TestExpansion:
+    def test_step_matrix_row_major(self):
+        step = PipelineStep(
+            name="s",
+            datasets=("a", "b"),
+            algorithms=("maxmin", "jp"),
+            seeds=(0, 1),
+        )
+        jobs = step.jobs()
+        assert len(jobs) == 8
+        assert (jobs[0].dataset, jobs[0].algorithm, jobs[0].seed) == ("a", "maxmin", 0)
+        assert (jobs[-1].dataset, jobs[-1].algorithm, jobs[-1].seed) == ("b", "jp", 1)
+
+    def test_config_is_copied_per_job(self):
+        step = PipelineStep(name="s", datasets=("a", "b"), config={"k": 1})
+        j1, j2 = step.jobs()
+        j1.config["k"] = 2
+        assert j2.config == {"k": 1}
+
+    def test_pipeline_jobs_concatenate_steps(self):
+        p = small_pipeline()
+        assert len(p.jobs()) == 4 + 2
+
+
+class TestSpecRoundtrip:
+    def test_to_spec_from_spec(self):
+        p = small_pipeline()
+        assert pipeline_from_spec(p.to_spec()) == p
+
+    def test_json_file_roundtrip(self, tmp_path):
+        p = small_pipeline()
+        path = tmp_path / "unit.json"
+        path.write_text(json.dumps(p.to_spec()))
+        assert load_pipeline(path) == p
+
+    def test_spec_defaults(self):
+        p = pipeline_from_spec(
+            {"name": "min", "steps": [{"datasets": ["rmat"]}]}
+        )
+        step = p.steps[0]
+        assert p.scale == "tiny"
+        assert step.algorithms == ("maxmin",)
+        assert step.schedules == ("grid",)
+        assert step.seeds == (0,)
+
+    def test_spec_requires_name_and_datasets(self):
+        with pytest.raises(ValueError, match="'name'"):
+            pipeline_from_spec({})
+        with pytest.raises(ValueError, match="'datasets'"):
+            pipeline_from_spec({"name": "x", "steps": [{}]})
+
+
+class TestResolve:
+    def test_builtins_resolve_by_name(self):
+        for name in PIPELINES:
+            assert resolve_pipeline(name).name == name
+
+    def test_spec_file_resolves_by_path(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(small_pipeline().to_spec()))
+        assert resolve_pipeline(str(path)).name == "unit"
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="report-smoke"):
+            resolve_pipeline("nope")
+
+    def test_report_smoke_shape(self):
+        p = PIPELINES["report-smoke"]
+        assert p.scale == "tiny"
+        assert len(p.jobs()) == 18
+
+
+class TestRunPipeline:
+    def test_runs_record_tagged_by_step(self, tmp_path):
+        p = small_pipeline()
+        with Recorder(
+            str(tmp_path / "runs.sqlite"), git_rev="t", scale="tiny"
+        ) as rec:
+            rows = run_pipeline(p, rec)
+            assert len(rows) == len(p.jobs())
+            stored = rec.store.runs()
+            assert len(stored) == len(rows)
+            sources = {r["source"] for r in stored}
+            assert sources == {"pipeline:unit/grid", "pipeline:unit/stealing"}
+            assert all(r["scale"] == "tiny" for r in stored)
+
+    def test_parallel_rows_and_store_match_serial(self, tmp_path):
+        p = small_pipeline()
+        with Recorder(str(tmp_path / "s.sqlite"), git_rev="t") as serial:
+            rows_serial = run_pipeline(p, serial)
+            canon_serial = serial.store.canonical_rows()
+        with Recorder(str(tmp_path / "p.sqlite"), git_rev="t") as par:
+            rows_par = run_pipeline(p, par, jobs=2)
+            canon_par = par.store.canonical_rows()
+        assert rows_serial == rows_par
+        assert canon_serial == canon_par

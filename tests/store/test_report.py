@@ -1,0 +1,234 @@
+"""Unit tests for regression reporting: snapshot, compare, CLI gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.batch import BatchJob, run_batch
+from repro.store import (
+    Recorder,
+    RunStore,
+    Thresholds,
+    compare,
+    load_baseline,
+    save_baseline,
+    snapshot,
+)
+
+JOBS = [
+    BatchJob("rmat"),
+    BatchJob("rmat", algorithm="jp"),
+    BatchJob("grid2d", schedule="stealing"),
+]
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A store holding one small recorded batch."""
+    path = tmp_path / "runs.sqlite"
+    with Recorder(str(path), git_rev="base", scale="tiny") as rec:
+        run_batch(JOBS, scale="tiny", recorder=rec)
+        yield rec.store
+
+
+class TestSnapshot:
+    def test_shape(self, populated):
+        snap = snapshot(populated)
+        assert set(snap) == {"schema", "runs", "experiments"}
+        assert len(snap["runs"]) == len(JOBS)
+        for metrics in snap["runs"].values():
+            assert metrics["cycles"] > 0
+            assert "wall_ms" in metrics
+
+    def test_strip_wall(self, populated):
+        snap = snapshot(populated, strip_wall=True)
+        assert all("wall_ms" not in m for m in snap["runs"].values())
+
+    def test_baseline_roundtrip(self, populated, tmp_path):
+        snap = snapshot(populated, strip_wall=True)
+        p = tmp_path / "baseline.json"
+        save_baseline(snap, p)
+        assert load_baseline(p) == snap
+
+    def test_load_rejects_non_baseline(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"rows": []}')
+        with pytest.raises(ValueError, match="not a baseline"):
+            load_baseline(p)
+
+
+class TestCompare:
+    def test_clean_rerun_is_ok(self, populated, tmp_path):
+        base = snapshot(populated, strip_wall=True)
+        report = compare(populated, base)
+        assert report.ok
+        assert report.matched == len(JOBS)
+        assert report.regressions == []
+        assert report.missing == [] and report.new == []
+
+    def test_ten_percent_cycle_regression_detected(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        for metrics in base["runs"].values():
+            metrics["cycles"] *= 0.9  # current is now +11% over baseline
+        report = compare(populated, base)
+        assert not report.ok
+        assert len(report.regressions) == len(JOBS)
+        assert all(r.metric == "cycles" for r in report.regressions)
+        assert "REGRESSION" in report.summary()
+
+    def test_small_drift_within_threshold(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        for metrics in base["runs"].values():
+            metrics["cycles"] /= 1.01  # +1% < the 2% default gate
+        assert compare(populated, base).ok
+
+    def test_color_regression_is_absolute(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        key = next(iter(base["runs"]))
+        base["runs"][key]["colors"] -= 1
+        report = compare(populated, base)
+        assert [r.metric for r in report.regressions] == ["colors"]
+        # loosening the colors gate admits it
+        assert compare(populated, base, thresholds=Thresholds(colors=1)).ok
+
+    def test_improvement_is_not_a_regression(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        key = next(iter(base["runs"]))
+        base["runs"][key]["cycles"] *= 2.0  # current is much faster
+        report = compare(populated, base)
+        assert report.ok
+        assert any(r.metric == "cycles" for r in report.improvements)
+
+    def test_missing_and_new_cells(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        keys = sorted(base["runs"])
+        base["runs"]["ghost@tiny/x:y+z@seed0#000000000000"] = base["runs"].pop(
+            keys[0]
+        )
+        report = compare(populated, base)
+        assert report.ok  # moved cells inform, they don't gate
+        assert report.missing == ["ghost@tiny/x:y+z@seed0#000000000000"]
+        assert report.new == [keys[0]]
+
+    def test_wall_not_gated_when_stripped(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        report = compare(populated, base)  # current snapshot has wall_ms
+        assert not any(r.metric == "wall_ms" for r in report.regressions)
+
+    def test_broken_and_fixed_experiments(self, populated):
+        populated.upsert_experiment(
+            experiment_id="E1", shape_holds=False, git_rev="now"
+        )
+        populated.upsert_experiment(
+            experiment_id="E2", shape_holds=True, git_rev="now"
+        )
+        base = snapshot(populated, strip_wall=True)
+        base["experiments"]["E1"]["shape_holds"] = True
+        base["experiments"]["E2"]["shape_holds"] = False
+        report = compare(populated, base)
+        assert report.broken_experiments == ["E1"]
+        assert report.fixed_experiments == ["E2"]
+        assert not report.ok  # a newly diverging experiment gates
+
+    def test_to_dict_is_json_serialisable(self, populated):
+        base = snapshot(populated, strip_wall=True)
+        doc = compare(populated, base).to_dict()
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["ok"] is True
+        assert parsed["matched"] == len(JOBS)
+
+
+class TestReportCli:
+    def _store_args(self, tmp_path):
+        return str(tmp_path / "runs.sqlite"), str(tmp_path / "baseline.json")
+
+    def _populate(self, store_path):
+        with Recorder(store_path, git_rev="base", scale="tiny") as rec:
+            run_batch(JOBS, scale="tiny", recorder=rec)
+
+    def test_write_then_clean_gate_exits_zero(self, tmp_path, capsys):
+        store, baseline = self._store_args(tmp_path)
+        self._populate(store)
+        assert (
+            main(
+                [
+                    "report",
+                    "--store",
+                    store,
+                    "--baseline",
+                    baseline,
+                    "--write-baseline",
+                    "--strip-wall",
+                ]
+            )
+            == 0
+        )
+        rc = main(
+            ["report", "--store", store, "--baseline", baseline, "--fail-on-regression"]
+        )
+        assert rc == 0
+        assert "report: ok" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        store, baseline = self._store_args(tmp_path)
+        self._populate(store)
+        main(
+            [
+                "report",
+                "--store",
+                store,
+                "--baseline",
+                baseline,
+                "--write-baseline",
+                "--strip-wall",
+            ]
+        )
+        doc = json.loads(open(baseline).read())
+        for metrics in doc["runs"].values():
+            metrics["cycles"] *= 0.9  # inject a 10% cycle regression
+        with open(baseline, "w") as fh:
+            json.dump(doc, fh)
+        capsys.readouterr()
+        rc = main(
+            ["report", "--store", store, "--baseline", baseline, "--fail-on-regression"]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # without the flag the same diff only informs
+        assert (
+            main(["report", "--store", store, "--baseline", baseline]) == 0
+        )
+
+    def test_json_output(self, tmp_path, capsys):
+        store, baseline = self._store_args(tmp_path)
+        self._populate(store)
+        main(
+            [
+                "report",
+                "--store",
+                store,
+                "--baseline",
+                baseline,
+                "--write-baseline",
+                "--strip-wall",
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(["report", "--store", store, "--baseline", baseline, "--json"]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["matched"] == len(JOBS)
+
+    def test_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "report",
+                    "--store",
+                    str(tmp_path / "absent.sqlite"),
+                    "--baseline",
+                    str(tmp_path / "b.json"),
+                ]
+            )
