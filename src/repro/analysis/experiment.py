@@ -122,18 +122,22 @@ def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
         return
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    payload = "".join(
-        json.dumps(asdict(r), default=_json_default) + "\n" for r in records
-    )
     lock_path = p.with_name(p.name + ".lock")
     with lock_path.open("a") as lock:
         _flock_exclusive(lock)
         try:
             existing = p.read_bytes() if p.exists() else b""
             tmp = p.with_name(f".{p.name}.{os.getpid()}.tmp")
+            # Records serialize straight into the temp file, so a bad
+            # record (unserializable details) raises mid-write with the
+            # lock held — the finally guarantees the orphan temp file
+            # never survives, and the target is untouched either way.
             try:
                 with tmp.open("wb") as fh:
-                    fh.write(existing + payload.encode())
+                    fh.write(existing)
+                    for r in records:
+                        line = json.dumps(asdict(r), default=_json_default)
+                        fh.write(line.encode() + b"\n")
                     fh.flush()
                     os.fsync(fh.fileno())
                 os.replace(tmp, p)

@@ -20,6 +20,8 @@ Subcommands::
     repro-color report --store ci.sqlite --fail-on-regression
     repro-color db info                        # run-store table counts
     repro-color db ingest                      # backfill records.jsonl
+    repro-color serve --store ci.sqlite        # coloring job server
+    repro-color job submit '{"kind":"color","dataset":"rmat"}' --wait
 
 Any suite dataset name or a graph file path is accepted wherever a graph
 is expected. ``color``, ``batch`` and ``sweep`` accept ``--store PATH``
@@ -546,6 +548,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="which device-kernel mapping to analyze",
     )
     c_flow.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the coloring job server (see repro.serve)"
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="PATH",
+        default="benchmarks/results/runs.sqlite",
+        help="run database holding the jobs ledger and recorded rows",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8932, help="TCP port (0 picks one)"
+    )
+    p_serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on this Unix domain socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="concurrent jobs executed"
+    )
+    p_serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="parallel cells within one job (harness worker pool size)",
+    )
+    p_serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="re-queue jobs left non-terminal by a previous server",
+    )
+    p_serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty (pairs with --recover in CI)",
+    )
+
+    p_job = sub.add_parser(
+        "job", help="client for a running job server (submit/poll/fetch)"
+    )
+    job_sub = p_job.add_subparsers(dest="job_command", required=True)
+
+    def _job_common(jp: argparse.ArgumentParser) -> None:
+        jp.add_argument(
+            "--url",
+            default="http://127.0.0.1:8932",
+            help="server base URL (TCP servers)",
+        )
+        jp.add_argument(
+            "--socket",
+            metavar="PATH",
+            default=None,
+            help="server Unix domain socket (overrides --url)",
+        )
+        jp.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    j_sub = job_sub.add_parser("submit", help="submit a job spec")
+    j_sub.add_argument(
+        "spec",
+        help="spec as inline JSON, @file.json, or '-' for stdin",
+    )
+    j_sub.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    j_sub.add_argument("--timeout", type=float, default=300.0)
+    _job_common(j_sub)
+    for verb, hlp in (
+        ("status", "poll one job's state"),
+        ("result", "fetch a finished job's rows"),
+        ("cancel", "cancel a queued or running job"),
+        ("restart", "re-queue a terminal job"),
+    ):
+        jp = job_sub.add_parser(verb, help=hlp)
+        jp.add_argument("job_id")
+        _job_common(jp)
+    j_wait = job_sub.add_parser("wait", help="block until a job finishes")
+    j_wait.add_argument("job_id")
+    j_wait.add_argument("--timeout", type=float, default=300.0)
+    _job_common(j_wait)
+    j_list = job_sub.add_parser("list", help="list jobs, newest first")
+    j_list.add_argument("--state", default=None, help="filter by state")
+    j_list.add_argument("--limit", type=int, default=20)
+    _job_common(j_list)
+    for verb, hlp in (
+        ("health", "server liveness and queue depth"),
+        ("metrics", "job counters, metrics registry, store counts"),
+    ):
+        jp = job_sub.add_parser(verb, help=hlp)
+        _job_common(jp)
+
     return parser
 
 
@@ -1424,6 +1519,155 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return handlers[args.check_command](args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import ServeApp, make_server, make_unix_server, run_server
+
+    app = ServeApp(
+        args.store,
+        workers=args.workers,
+        job_workers=args.job_workers,
+        recover=args.recover,
+    )
+    if args.socket:
+        server = make_unix_server(app, args.socket)
+        where = args.socket
+    else:
+        server = make_server(app, args.host, args.port)
+        where = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    recovered = f", recovered {len(app.recovered)} job(s)" if args.recover else ""
+    print(
+        f"serving jobs on {where} (store {args.store}, "
+        f"workers={args.workers}, job-workers={args.job_workers}{recovered})"
+    )
+    run_server(server, app, drain=args.drain, stop_event=stop)
+    print("server stopped")
+    return 0
+
+
+def _job_client(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    if args.socket:
+        return ServeClient(socket_path=args.socket)
+    return ServeClient(args.url)
+
+
+def _print_job(view: dict, *, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(view, indent=2))
+        return
+    doc = {
+        k: view[k]
+        for k in (
+            "job_id",
+            "kind",
+            "state",
+            "cells",
+            "cells_done",
+            "attempts",
+            "spec_digest",
+        )
+        if k in view
+    }
+    if view.get("error"):
+        doc["error"] = view["error"]
+    if "deduped" in view:
+        doc["deduped"] = view["deduped"]
+    print(format_kv(doc, title=f"job {view.get('job_id', '?')}"))
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    client = _job_client(args)
+    try:
+        if args.job_command == "submit":
+            raw = args.spec
+            if raw == "-":
+                raw = sys.stdin.read()
+            elif raw.startswith("@"):
+                raw = Path(raw[1:]).read_text()
+            try:
+                spec = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"error: spec is not JSON: {exc}") from None
+            view = client.submit(spec)
+            if args.wait:
+                view = client.wait(view["job_id"], timeout=args.timeout)
+            _print_job(view, as_json=args.json)
+            return 0
+        if args.job_command == "status":
+            _print_job(client.job(args.job_id), as_json=args.json)
+            return 0
+        if args.job_command == "wait":
+            view = client.wait(args.job_id, timeout=args.timeout)
+            _print_job(view, as_json=args.json)
+            return 0 if view["state"] == "done" else 1
+        if args.job_command == "result":
+            view = client.result(args.job_id)
+            if args.json:
+                print(json.dumps(view, indent=2))
+            else:
+                rows = [
+                    {
+                        "dataset": r.get("dataset"),
+                        "algorithm": r.get("algorithm"),
+                        "cycles": round(float(r.get("cycles", 0.0)), 1),
+                        "colors": r.get("colors"),
+                        "source": r.get("source"),
+                    }
+                    for r in view["result"]
+                ]
+                print(
+                    format_table(
+                        rows, title=f"job {args.job_id} ({len(rows)} rows)"
+                    )
+                )
+            return 0
+        if args.job_command == "cancel":
+            _print_job(client.cancel(args.job_id), as_json=args.json)
+            return 0
+        if args.job_command == "restart":
+            _print_job(client.restart(args.job_id), as_json=args.json)
+            return 0
+        if args.job_command == "list":
+            views = client.jobs(state=args.state, limit=args.limit)
+            if args.json:
+                print(json.dumps(views, indent=2))
+            else:
+                rows = [
+                    {
+                        "job_id": v["job_id"],
+                        "kind": v["kind"],
+                        "state": v["state"],
+                        "cells": f"{v['cells_done']}/{v['cells']}",
+                        "submitted": v["submitted_at"],
+                    }
+                    for v in views
+                ]
+                print(format_table(rows, title=f"jobs ({len(rows)})"))
+            return 0
+        # health / metrics
+        doc = (
+            client.health() if args.job_command == "health" else client.metrics()
+        )
+        if args.json or args.job_command == "metrics":
+            print(json.dumps(doc, indent=2))
+        else:
+            print(format_kv(doc, title="server health"))
+        return 0
+    except ServeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"error: cannot reach server: {exc}") from None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1441,6 +1685,8 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "pipeline": _cmd_pipeline,
         "db": _cmd_db,
+        "serve": _cmd_serve,
+        "job": _cmd_job,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -160,51 +162,75 @@ class SharedGraphStore:
 #: The SharedMemory object must outlive the arrays viewing its buffer.
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, CSRGraph]] = {}
 
+#: serializes attachment (cache fills and the py<3.12 tracker patch).
+#: Concurrent attaches from server worker threads must not interleave
+#: the save/patch/restore of ``resource_tracker.register``: two
+#: unsynchronized patchers can capture each other's no-op lambda as the
+#: "original" and leave tracker registration permanently disabled.
+_ATTACH_LOCK = threading.Lock()
+
+#: ``SharedMemory(..., track=False)`` exists from Python 3.12; earlier
+#: versions need the tracker-register patch below.
+_HAS_TRACK_KWARG = sys.version_info >= (3, 12)
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    Plain attachment would register the segment with the resource
+    tracker, which under fork is shared with the parent — the tracker
+    would then unlink the parent-owned segment when any worker exits
+    (and emit double-unregister noise when several attach).  The parent's
+    :class:`SharedGraphStore` is the sole owner, so the attachment must
+    stay untracked: natively via ``track=False`` on Python ≥ 3.12, via a
+    lock-guarded ``register`` patch before that.  Callers hold
+    :data:`_ATTACH_LOCK`.
+    """
+    if _HAS_TRACK_KWARG:
+        return shared_memory.SharedMemory(name=name, track=False)
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register  # type: ignore[assignment]
+
 
 def attach_graph(ref: SharedGraphRef) -> CSRGraph:
-    """Zero-copy view of a published graph (worker side, cached).
+    """Zero-copy view of a published graph (cached, thread-safe).
 
     The returned :class:`CSRGraph` wraps arrays that alias the shared
     segment directly; nothing is copied and ``validate=False`` skips the
     structural re-check (the parent published a validated graph).
     """
-    cached = _ATTACHED.get(ref.shm_name)
-    if cached is not None:
-        return cached[1]
-    # Python < 3.12 has no track=False: plain attachment would register
-    # the segment with the resource tracker, which under fork is shared
-    # with the parent — the tracker would then unlink the parent-owned
-    # segment when any worker exits (and double-unregister noise when
-    # several attach).  Suppress registration for this non-owning
-    # attachment; the parent's SharedGraphStore is the sole owner.
-    orig_register = resource_tracker.register
-    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
-    try:
-        shm = shared_memory.SharedMemory(name=ref.shm_name)
-    finally:
-        resource_tracker.register = orig_register  # type: ignore[assignment]
-    indptr = np.ndarray(
-        (ref.num_vertices + 1,), dtype=np.int64, buffer=shm.buf
-    )
-    indices = np.ndarray(
-        (2 * ref.num_edges,),
-        dtype=np.int32,
-        buffer=shm.buf,
-        offset=ref.indptr_bytes,
-    )
-    graph = CSRGraph(indptr, indices, validate=False)
-    _ATTACHED[ref.shm_name] = (shm, graph)
-    return graph
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(ref.shm_name)
+        if cached is not None:
+            return cached[1]
+        shm = _open_untracked(ref.shm_name)
+        indptr = np.ndarray(
+            (ref.num_vertices + 1,), dtype=np.int64, buffer=shm.buf
+        )
+        indices = np.ndarray(
+            (2 * ref.num_edges,),
+            dtype=np.int32,
+            buffer=shm.buf,
+            offset=ref.indptr_bytes,
+        )
+        graph = CSRGraph(indptr, indices, validate=False)
+        _ATTACHED[ref.shm_name] = (shm, graph)
+        return graph
 
 
 def _detach_all() -> None:
     """Drop every cached attachment (test hook / worker teardown)."""
-    for shm, _ in _ATTACHED.values():
-        try:
-            shm.close()
-        except OSError:  # pragma: no cover
-            pass
-    _ATTACHED.clear()
+    with _ATTACH_LOCK:
+        for shm, _ in _ATTACHED.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover
+                pass
+        _ATTACHED.clear()
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,26 @@ class PhaseStats:
             "wall_ms": round(self.wall_us / 1e3, 3),
         }
 
+    def to_dict(self) -> dict[str, object]:
+        """Full JSON-safe snapshot (the ``/metrics`` wire format)."""
+        return {
+            "phase": self.phase,
+            "kernels": self.kernels,
+            "kernel_cycles": self.kernel_cycles,
+            "launch_cycles": self.launch_cycles,
+            "bandwidth_bound_kernels": self.bandwidth_bound_kernels,
+            "work_items": self.work_items,
+            "traffic_elements": self.traffic_elements,
+            "steal_attempts": self.steal_attempts,
+            "steals_succeeded": self.steals_succeeded,
+            "steal_success_rate": self.steal_success_rate,
+            "chunks_migrated": self.chunks_migrated,
+            "spans": self.spans,
+            "wall_us": self.wall_us,
+            "mean_simd_efficiency": self.mean_simd_efficiency,
+            "mean_cu_utilization": self.mean_cu_utilization,
+        }
+
 
 class MetricsRegistry:
     """A sink that folds the event stream into per-phase statistics."""
@@ -189,6 +209,18 @@ class MetricsRegistry:
     def rows(self) -> list[dict[str, object]]:
         """One table row per phase, in first-seen order."""
         return [st.as_row() for st in self._phases.values()]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe snapshot: every phase plus the folded totals.
+
+        This is what :mod:`repro.serve` serves from ``/metrics`` — the
+        registry is the single source of per-phase aggregates, so the
+        endpoint needs no bookkeeping of its own.
+        """
+        return {
+            "phases": {name: st.to_dict() for name, st in self._phases.items()},
+            "totals": self.totals().to_dict(),
+        }
 
     def totals(self) -> PhaseStats:
         """Everything folded into one bucket (phase ``"total"``)."""

@@ -15,8 +15,10 @@ The queryable successor to ``benchmarks/results/records.jsonl``:
 """
 
 from .db import (
+    JOB_STATES,
     MIGRATIONS,
     SCHEMA_VERSION,
+    TERMINAL_JOB_STATES,
     RunStore,
     config_digest,
     current_git_rev,
@@ -46,6 +48,7 @@ from .report import (
 )
 
 __all__ = [
+    "JOB_STATES",
     "MIGRATIONS",
     "PIPELINES",
     "Pipeline",
@@ -56,6 +59,7 @@ __all__ = [
     "RegressionReport",
     "RunStore",
     "SCHEMA_VERSION",
+    "TERMINAL_JOB_STATES",
     "Thresholds",
     "compare",
     "config_digest",

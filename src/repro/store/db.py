@@ -8,7 +8,7 @@ revision, scale — so re-running a cell upserts (refreshing the
 measurement and bumping a dedupe counter) instead of appending a
 duplicate line.
 
-Four tables:
+Five tables:
 
 * ``runs`` — one row per executed cell: identity key plus the measured
   outcome (cycles, colors, iterations, simulated ms, host wall ms) and
@@ -20,6 +20,11 @@ Four tables:
 * ``graphs`` — digest → dataset/scale/size, so a digest in ``runs``
   is always resolvable back to a human name.
 * ``tunings`` — autotune outcomes (winner + full scoreboard JSON).
+* ``jobs`` — the :mod:`repro.serve` job ledger: submitted specs with
+  their dedup digest, lifecycle state, progress, and result rows.
+  Because the ledger lives in the same database as the runs it
+  produces, ``repro serve --recover`` can re-queue every job a crash
+  left non-terminal with nothing but the store file.
 
 Concurrency and durability: connections run in WAL mode with a
 generous busy timeout, so parallel harness workers
@@ -49,6 +54,8 @@ if TYPE_CHECKING:
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JOB_STATES",
+    "TERMINAL_JOB_STATES",
     "MIGRATIONS",
     "RunStore",
     "config_digest",
@@ -69,7 +76,14 @@ _DISABLED = ("", "0", "off", "none")
 DEFAULT_STORE = "benchmarks/results/runs.sqlite"
 
 #: current schema version (``PRAGMA user_version`` of a fresh store).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: job lifecycle states (see :mod:`repro.serve.model`).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a job never leaves on its own; everything else is re-queued
+#: by ``repro serve --recover`` after a crash.
+TERMINAL_JOB_STATES = frozenset({"done", "failed", "cancelled"})
 
 _V1_SQL = """
 CREATE TABLE runs (
@@ -142,8 +156,29 @@ CREATE TABLE tunings (
 );
 """
 
+_V3_SQL = """
+CREATE TABLE jobs (
+    id INTEGER PRIMARY KEY,
+    job_id TEXT NOT NULL UNIQUE,
+    kind TEXT NOT NULL,
+    spec TEXT NOT NULL DEFAULT '{}',
+    spec_digest TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    cells INTEGER NOT NULL DEFAULT 0,
+    cells_done INTEGER NOT NULL DEFAULT 0,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    error TEXT NOT NULL DEFAULT '',
+    result TEXT,
+    submitted_at TEXT NOT NULL DEFAULT '',
+    started_at TEXT,
+    finished_at TEXT
+);
+CREATE INDEX idx_jobs_digest ON jobs (spec_digest, state);
+CREATE INDEX idx_jobs_state ON jobs (state);
+"""
+
 #: version → DDL applied when upgrading *to* that version, in order.
-MIGRATIONS: dict[int, str] = {1: _V1_SQL, 2: _V2_SQL}
+MIGRATIONS: dict[int, str] = {1: _V1_SQL, 2: _V2_SQL, 3: _V3_SQL}
 
 #: ``runs`` columns that identify + measure a cell; everything a
 #: deterministic rerun reproduces exactly. Volatile columns (id,
@@ -303,11 +338,18 @@ class RunStore:
         if isinstance(self.path, Path):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self.conn = sqlite3.connect(str(self.path), timeout=30.0)
-        self.conn.row_factory = sqlite3.Row
-        self.conn.execute("PRAGMA journal_mode=WAL")
-        self.conn.execute("PRAGMA busy_timeout=30000")
-        self.conn.execute("PRAGMA synchronous=NORMAL")
-        self._migrate()
+        # Anything after connect() can raise (a failing migration, the
+        # newer-file refusal); without the close the half-built store
+        # would leak an open WAL handle (and its -wal/-shm sidecars).
+        try:
+            self.conn.row_factory = sqlite3.Row
+            self.conn.execute("PRAGMA journal_mode=WAL")
+            self.conn.execute("PRAGMA busy_timeout=30000")
+            self.conn.execute("PRAGMA synchronous=NORMAL")
+            self._migrate()
+        except BaseException:
+            self.conn.close()
+            raise
 
     # -- lifecycle ------------------------------------------------------
 
@@ -485,6 +527,105 @@ class RunStore:
                 ),
             )
 
+    # -- jobs (the repro.serve ledger) ----------------------------------
+
+    def insert_job(
+        self,
+        *,
+        job_id: str,
+        kind: str,
+        spec: str,
+        spec_digest: str,
+        cells: int = 0,
+    ) -> None:
+        """Record a freshly submitted job (state ``queued``)."""
+        with self.conn:
+            self.conn.execute(
+                "INSERT INTO jobs (job_id, kind, spec, spec_digest, state, "
+                "cells, submitted_at) VALUES (?, ?, ?, ?, 'queued', ?, ?)",
+                (job_id, kind, spec, spec_digest, int(cells), _utcnow()),
+            )
+
+    def job(self, job_id: str) -> dict[str, Any] | None:
+        """One job row by id, or ``None``."""
+        row = self.conn.execute(
+            "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    _JOB_MUTABLE = frozenset(
+        {
+            "state",
+            "cells",
+            "cells_done",
+            "attempts",
+            "error",
+            "result",
+            "started_at",
+            "finished_at",
+        }
+    )
+
+    def update_job(self, job_id: str, **fields: Any) -> None:
+        """Update whitelisted columns of one job row."""
+        unknown = set(fields) - self._JOB_MUTABLE
+        if unknown:
+            raise KeyError(f"immutable/unknown jobs columns: {sorted(unknown)}")
+        if "state" in fields and fields["state"] not in JOB_STATES:
+            raise ValueError(f"unknown job state {fields['state']!r}")
+        if not fields:
+            return
+        cols = sorted(fields)
+        with self.conn:
+            self.conn.execute(
+                f"UPDATE jobs SET {', '.join(f'{c} = :{c}' for c in cols)} "
+                "WHERE job_id = :job_id",
+                {**fields, "job_id": job_id},
+            )
+
+    def jobs_by_digest(self, spec_digest: str) -> list[dict[str, Any]]:
+        """Jobs sharing one dedup digest, newest first."""
+        return self.query(
+            "SELECT * FROM jobs WHERE spec_digest = ? ORDER BY id DESC",
+            (spec_digest,),
+        )
+
+    def list_jobs(
+        self, *, state: str | None = None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Job rows (newest first), optionally filtered by state."""
+        sql = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            params = (state,)
+        sql += " ORDER BY id DESC"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return self.query(sql, params)
+
+    def reset_interrupted_jobs(self) -> list[str]:
+        """Re-queue every non-terminal job; returns their ids, oldest first.
+
+        The recovery primitive behind ``repro serve --recover``: jobs a
+        dead server left ``queued`` or ``running`` go back to ``queued``
+        (keeping their attempt count) so a fresh executor re-runs them.
+        Terminal jobs are untouched.
+        """
+        rows = self.query(
+            "SELECT job_id FROM jobs "
+            "WHERE state NOT IN ('done', 'failed', 'cancelled') ORDER BY id"
+        )
+        ids = [str(r["job_id"]) for r in rows]
+        if ids:
+            with self.conn:
+                self.conn.executemany(
+                    "UPDATE jobs SET state = 'queued', started_at = NULL "
+                    "WHERE job_id = ?",
+                    [(i,) for i in ids],
+                )
+        return ids
+
     # -- queries --------------------------------------------------------
 
     def query(self, sql: str, params: tuple = ()) -> list[dict[str, Any]]:
@@ -561,7 +702,7 @@ class RunStore:
             table: int(
                 self.conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
             )
-            for table in ("runs", "experiments", "graphs", "tunings")
+            for table in ("runs", "experiments", "graphs", "tunings", "jobs")
         }
 
 

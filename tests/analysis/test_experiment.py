@@ -86,6 +86,28 @@ class TestPersistence:
         assert leftovers in ([], ["records.jsonl.lock"])
         assert len(load_records(p)) == 2
 
+    def test_failing_record_leaves_no_orphan_tmp_and_target_intact(
+        self, tmp_path
+    ):
+        # Regression: a record whose details cannot serialize used to be
+        # able to abandon a .tmp file (mid-write, flock still held) and
+        # wedge later appenders. Now the temp is unlinked on the way out
+        # and the target file is untouched.
+        p = tmp_path / "records.jsonl"
+        save_records([rec("E1")], p)
+        bad = rec("E2")
+        bad.details = {"handle": object()}  # not JSON serializable
+        with pytest.raises(TypeError, match="not JSON serializable"):
+            save_records([rec("E3"), bad], p)
+        leftovers = sorted(
+            f.name for f in tmp_path.iterdir() if f.name != "records.jsonl"
+        )
+        assert leftovers in ([], ["records.jsonl.lock"])  # no .tmp orphan
+        assert [r.experiment_id for r in load_records(p)] == ["E1"]
+        # and the writer still works afterwards (lock released, no wedge)
+        save_records([rec("E4")], p)
+        assert [r.experiment_id for r in load_records(p)] == ["E1", "E4"]
+
 
 class TestStoreView:
     def test_records_from_store_roundtrip(self, tmp_path):

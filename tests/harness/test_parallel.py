@@ -131,6 +131,43 @@ class TestSharedGraphStore:
         assert not any(p.exists() for p in paths)
         store.close()  # idempotent
 
+    def test_concurrent_attach_restores_tracker_register(self):
+        # Regression: unsynchronized attachers could capture each
+        # other's no-op patch as the "original" resource_tracker.register
+        # and leave tracker registration disabled process-wide. Attaches
+        # now serialize on a module lock; after any storm of concurrent
+        # attaches the real register function must be back in place.
+        import threading
+
+        from multiprocessing import resource_tracker
+
+        from repro.harness import parallel as par
+
+        real_register = resource_tracker.register
+        graphs = {f"g{i}": gen.grid_2d(6, 6) for i in range(4)}
+        with SharedGraphStore() as store:
+            refs = [store.publish(k, g) for k, g in graphs.items()]
+            errors = []
+
+            def attach_many():
+                try:
+                    for ref in refs:
+                        attach_graph(ref)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=attach_many) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            _detach_all()
+        assert not errors
+        assert resource_tracker.register is real_register
+        if not par._HAS_TRACK_KWARG:
+            # the patch path must never leave a lambda installed
+            assert resource_tracker.register.__name__ == real_register.__name__
+
     def test_cleanup_after_worker_crash(self):
         # a crashing worker must not leak the parent-owned segments —
         # the context manager unlinks them on the way out of the raise

@@ -48,6 +48,7 @@ class TestSchema:
                 "experiments": 0,
                 "graphs": 0,
                 "tunings": 0,
+                "jobs": 0,
             }
 
     def test_v1_store_is_migrated_forward(self, tmp_path):
@@ -226,3 +227,118 @@ class TestIngest:
             assert [r["experiment_id"] for r in rows] == ["E1", "E2"]
             assert rows[0]["shape_holds"] and not rows[1]["shape_holds"]
             assert store.counts()["experiments"] == 2
+
+
+class TestJobs:
+    def _insert(self, store, job_id="j1", **kw):
+        base = {"kind": "color", "spec": "{}", "spec_digest": "d" * 32, "cells": 3}
+        base.update(kw)
+        store.insert_job(job_id=job_id, **base)
+
+    def test_insert_and_fetch(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            self._insert(store)
+            job = store.job("j1")
+            assert job["state"] == "queued"
+            assert job["cells"] == 3
+            assert job["attempts"] == 0
+            assert job["submitted_at"]  # stamped at insert
+            assert store.job("nope") is None
+
+    def test_update_whitelist(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            self._insert(store)
+            store.update_job("j1", state="running", cells_done=2, attempts=1)
+            job = store.job("j1")
+            assert (job["state"], job["cells_done"], job["attempts"]) == (
+                "running", 2, 1,
+            )
+            with pytest.raises(KeyError):
+                store.update_job("j1", spec_digest="x")  # immutable column
+            with pytest.raises(ValueError, match="job state"):
+                store.update_job("j1", state="exploded")
+
+    def test_jobs_by_digest_newest_first(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            self._insert(store, job_id="a", spec_digest="d1")
+            self._insert(store, job_id="b", spec_digest="d1")
+            self._insert(store, job_id="c", spec_digest="d2")
+            assert [j["job_id"] for j in store.jobs_by_digest("d1")] == ["b", "a"]
+
+    def test_reset_interrupted_requeues_only_non_terminal(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            for jid, state in (
+                ("q", "queued"),
+                ("r", "running"),
+                ("d", "done"),
+                ("f", "failed"),
+                ("c", "cancelled"),
+            ):
+                self._insert(store, job_id=jid)
+                if state != "queued":
+                    store.update_job(jid, state=state)
+            assert store.reset_interrupted_jobs() == ["q", "r"]
+            assert store.job("r")["state"] == "queued"
+            assert store.job("r")["started_at"] is None
+            assert store.job("d")["state"] == "done"
+
+    def test_list_jobs_filters(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            self._insert(store, job_id="a")
+            self._insert(store, job_id="b")
+            store.update_job("b", state="running")
+            assert len(store.list_jobs()) == 2
+            assert [j["job_id"] for j in store.list_jobs(state="running")] == ["b"]
+            assert len(store.list_jobs(limit=1)) == 1
+
+
+class TestInitFailureClosesConnection:
+    """Regression: RunStore.__init__ must not leak its sqlite connection
+    when setup after connect fails (migration error, newer-file refusal)."""
+
+    def _capture_connect(self, monkeypatch):
+        opened = []
+        real_connect = sqlite3.connect
+
+        def spy(*args, **kwargs):
+            conn = real_connect(*args, **kwargs)
+            opened.append(conn)
+            return conn
+
+        monkeypatch.setattr(sqlite3, "connect", spy)
+        return opened
+
+    @staticmethod
+    def _is_closed(conn):
+        try:
+            conn.execute("SELECT 1")
+        except sqlite3.ProgrammingError:
+            return True
+        return False
+
+    def test_newer_file_refusal_closes(self, tmp_path, monkeypatch):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        opened = self._capture_connect(monkeypatch)
+        with pytest.raises(RuntimeError, match="newer than this code"):
+            RunStore(path)
+        assert len(opened) == 1
+        assert self._is_closed(opened[0])
+
+    def test_migration_failure_closes(self, tmp_path, monkeypatch):
+        # a v1 file with a table that collides with the v2 migration
+        path = tmp_path / "broken.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(MIGRATIONS[1])
+        conn.execute("CREATE TABLE tunings (oops INTEGER)")  # v2 will collide
+        conn.execute("PRAGMA user_version=1")
+        conn.commit()
+        conn.close()
+        opened = self._capture_connect(monkeypatch)
+        with pytest.raises(sqlite3.OperationalError):
+            RunStore(path)
+        assert len(opened) == 1
+        assert self._is_closed(opened[0])
