@@ -22,11 +22,20 @@ without fear. Four pillars:
   device kernels: CFG construction, a generic worklist fixed-point
   framework, thread-variance/coalescing classification, and a static
   load-imbalance predictor from symbolic per-thread work models.
+* :mod:`~repro.check.flow.memsafe` — the static race-freedom and
+  memory-safety verifier over the kernel specs: per-array verdicts
+  (race-free / synchronized / atomic-only / may-race with a symbolic
+  witness), in-bounds proofs under the CSR invariants, and a
+  cross-check that the static verdicts agree with the dynamic replay.
+  Both layers share one conflict-rule/sync-edge definition,
+  :mod:`~repro.check.concurrency`.
 
-Surfaced through ``repro check {validate,races,lint,golden,flow}`` on
-the CLI and the ``--validate`` flag on ``color``/runner/batch.
+Surfaced through ``repro check
+{validate,races,lint,golden,flow,verify}`` on the CLI and the
+``--validate`` flag on ``color``/runner/batch.
 """
 
+from .concurrency import INPLACE_ARRAYS, classify_element, expected_racy
 from .determinism import (
     DriftReport,
     RunDigest,
@@ -40,14 +49,19 @@ from .determinism import (
 from .flow import (
     AccessClass,
     AlgorithmFlowReport,
+    AlgorithmMemReport,
     ImbalancePrediction,
     KernelFlowReport,
+    KernelMemReport,
     Variance,
     WorkModel,
     analyze_algorithm,
     analyze_kernel,
+    cross_check,
     predict_imbalance,
     spearman,
+    verify_algorithm,
+    verify_device_kernels,
     work_model,
 )
 from .lint import LintViolation, lint_paths, lint_source
@@ -67,7 +81,10 @@ __all__ = [
     "AccessClass",
     "AccessLog",
     "AlgorithmFlowReport",
+    "AlgorithmMemReport",
     "CheckFailedError",
+    "INPLACE_ARRAYS",
+    "KernelMemReport",
     "DriftReport",
     "ImbalancePrediction",
     "Issue",
@@ -82,8 +99,11 @@ __all__ = [
     "analyze_algorithm",
     "analyze_kernel",
     "check_drift",
+    "classify_element",
     "compare_runs",
+    "cross_check",
     "detect_races",
+    "expected_racy",
     "digest_result",
     "golden_digests",
     "lint_paths",
@@ -93,6 +113,8 @@ __all__ = [
     "save_golden",
     "scan_algorithm_races",
     "spearman",
+    "verify_algorithm",
+    "verify_device_kernels",
     "work_model",
     "validate_coloring",
     "validate_csr",

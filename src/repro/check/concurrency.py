@@ -1,0 +1,123 @@
+"""Shared concurrency semantics for the dynamic and static race layers.
+
+:mod:`repro.check.races` (the dynamic replay detector) and
+:mod:`repro.check.flow.memsafe` (the static verifier over kernel
+specs) reason about the *same* machine model. This module is the
+single definition both consume, so the two layers cannot drift:
+
+* **Sync edges.** A kernel launch is a global synchronization edge:
+  accesses in different kernel steps are ordered and can never race.
+  Dynamically that is ``AccessLog.next_step``; statically it is the
+  may-happen-in-parallel rule "only same-launch accesses are
+  concurrent".
+* **Wavefront granularity.** Lanes of one wavefront execute in
+  lockstep, so intra-wavefront interleavings cannot produce the
+  read-stale-then-write hazards the conflict-resolution cycle exists
+  to repair. Dynamically: an element touched by a single wavefront is
+  never a finding. Statically: two accesses whose indices coincide
+  only when the owning thread/wavefront coincides are exempt.
+* **The atomic exemption.** Atomic RMW sequences serialize at the
+  memory controller, so an element whose every same-step access is
+  atomic is ordered, not racy.
+* **The conflict rule** itself: same element, same step, ≥2 distinct
+  wavefronts, at least one write, not all-atomic
+  (:func:`classify_element`).
+* **In-place arrays.** Which algorithms deliberately run kernels
+  in-place over shared state (:data:`INPLACE_ARRAYS`). The dynamic
+  layer derives its *expected-racy* declarations from this table; the
+  static layer derives the physical aliasing of ``colors_in``/
+  ``colors_out`` from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_WAVEFRONT_SIZE",
+    "ElementConflict",
+    "INPLACE_ARRAYS",
+    "classify_element",
+    "expected_racy",
+    "wavefront_of",
+]
+
+#: lanes per wavefront in the simulated machine model (GCN Tahiti).
+DEFAULT_WAVEFRONT_SIZE = 64
+
+#: algorithm → logical arrays its kernels mutate *in place* while other
+#: threads of the same launch read them. In-place sharing is the one
+#: way a spec can race by design: the speculative family first-fits
+#: against a snapshot its neighbors are concurrently overwriting and
+#: repairs the damage in a detect pass. Independent-set algorithms
+#: double-buffer (``colors_in``/``colors_out``) and stay race-free.
+INPLACE_ARRAYS: dict[str, frozenset[str]] = {
+    "jp": frozenset(),
+    "maxmin": frozenset(),
+    "edge-centric": frozenset(),
+    "speculative": frozenset({"colors"}),
+    "hybrid-switch": frozenset({"colors"}),
+    "partitioned": frozenset({"colors"}),
+}
+
+
+def expected_racy(algorithm: str) -> frozenset[str]:
+    """Arrays on which races are *by design* for ``algorithm``.
+
+    Exactly the in-place arrays: racing requires same-launch writers
+    and readers of one physical buffer, which only in-place kernels
+    have. Unknown algorithms get the safe default (nothing expected).
+    """
+    return INPLACE_ARRAYS.get(algorithm, frozenset())
+
+
+def wavefront_of(threads: np.ndarray, wavefront_size: int) -> np.ndarray:
+    """Wavefront ids for logical SIMT thread ids (lockstep granularity)."""
+    return np.asarray(threads) // wavefront_size
+
+
+@dataclass(frozen=True)
+class ElementConflict:
+    """One element's same-step conflict, per the shared conflict rule."""
+
+    num_wavefronts: int
+    has_write_write: bool
+    has_read_write: bool
+
+
+def classify_element(
+    wavefronts: np.ndarray,
+    writes: np.ndarray,
+    atomics: np.ndarray,
+) -> ElementConflict | None:
+    """Apply the conflict rule to one element's same-step access columns.
+
+    Returns ``None`` when the element cannot race: read-only, touched
+    by a single wavefront (lockstep), or all-atomic (ordered at the
+    memory controller). Otherwise classifies the conflict as
+    write/write (two non-atomic-exempt writing wavefronts) and/or
+    read/write. Callers bucket accesses per (array, element, step);
+    the sync-edge rule is theirs — this function never sees accesses
+    from different steps.
+    """
+    writes = np.asarray(writes, dtype=bool)
+    if not writes.any():
+        return None
+    wavefronts = np.asarray(wavefronts)
+    wfs = np.unique(wavefronts)
+    if wfs.size < 2:
+        return None
+    if bool(np.all(np.asarray(atomics, dtype=bool))):
+        return None
+    writing_wfs = np.unique(wavefronts[writes])
+    has_ww = writing_wfs.size >= 2
+    has_rw = bool(np.any(~writes)) or has_ww
+    if not (has_ww or has_rw):
+        return None
+    return ElementConflict(
+        num_wavefronts=int(wfs.size),
+        has_write_write=has_ww,
+        has_read_write=has_rw,
+    )

@@ -16,6 +16,13 @@ Layers (each building on the previous):
   polynomials in vertex degree and the static load-imbalance predictor
   that replays the persistent-schedule chunking over a graph's degree
   distribution.
+* :mod:`~repro.check.flow.regions` /
+  :mod:`~repro.check.flow.memsafe` — symbolic affine access regions
+  under the CSR structural invariants and the static race-freedom /
+  memory-safety verifier built on them: per-array verdicts
+  (race-free, synchronized, atomic-only, may-race with a witness),
+  in-bounds proofs for every subscript, and the cross-check against
+  the dynamic race replay.
 
 The kernels analyzed are the executable per-thread specs in
 :mod:`repro.coloring.device_kernels`, which the test suite runs
@@ -52,6 +59,20 @@ from .imbalance import (
     spearman,
     work_model,
 )
+from .memsafe import (
+    AccessSite,
+    AlgorithmMemReport,
+    ArrayVerdict,
+    CrossCheckRow,
+    KernelMemReport,
+    RaceWitness,
+    cross_check,
+    verify_algorithm,
+    verify_device_kernels,
+    verify_kernel,
+    verify_kernels,
+)
+from .regions import Bounder, IVal, LinExpr, SymRange, array_length, load_value
 
 __all__ = [
     "CFG",
@@ -82,4 +103,21 @@ __all__ = [
     "predict_imbalance",
     "spearman",
     "work_model",
+    "AccessSite",
+    "AlgorithmMemReport",
+    "ArrayVerdict",
+    "Bounder",
+    "CrossCheckRow",
+    "IVal",
+    "KernelMemReport",
+    "LinExpr",
+    "RaceWitness",
+    "SymRange",
+    "array_length",
+    "cross_check",
+    "load_value",
+    "verify_algorithm",
+    "verify_device_kernels",
+    "verify_kernel",
+    "verify_kernels",
 ]

@@ -1,0 +1,410 @@
+"""Symbolic affine access regions — the memsafe verifier's value domain.
+
+:mod:`~repro.check.flow.imbalance` introduced ``SymLin``, a linear
+form over the fixed basis (deg, start, vid) used for trip counts.
+This module generalizes that idea for memory-safety proofs:
+
+* :class:`LinExpr` — a linear form over *named* symbols with a
+  rational constant. The symbol vocabulary is the kernel launch
+  geometry: ``n`` (vertices), ``m`` (directed CSR entries), ``W``
+  (wavefront size), ``t`` (the owning thread / wavefront id), ``l``
+  (the lane), and the per-thread CSR row facts ``start`` / ``deg``.
+* :class:`Bounder` — eliminates non-ground symbols from a
+  :class:`LinExpr` through their declared ranges until only the
+  ground symbols ``n``/``m`` remain, then decides ``expr >= 0`` from
+  ``n >= 1``, ``m >= 0``. This is how every in-bounds obligation is
+  discharged.
+* :class:`IVal` — the abstract value flowing through a kernel body:
+  an optional *exact* affine form plus an interval ``[lo, hi]`` of
+  :class:`LinExpr` bounds. Exact forms drive the disjointness proofs
+  (an index ``a*t + ground`` with ``a != 0`` is injective in the
+  thread id); intervals drive the bounds proofs.
+
+The CSR structural invariants the verifier assumes (and the dynamic
+validators in :mod:`repro.check.validators` actually check) are
+declared here as the :func:`array_length` and :func:`load_value`
+tables:
+
+* ``indptr`` is monotone with ``indptr[0] == 0`` and
+  ``indptr[n] == m``, hence ``indptr[t] == start ∈ [0, m - deg]`` and
+  ``indptr[t + 1] == start + deg``;
+* ``indices[e] < n`` for every entry, likewise the ``edge_u`` /
+  ``edge_v`` endpoint arrays;
+* color arrays hold ``UNCOLORED`` (−1) or a color in ``[0, n)``.
+
+**Adding an invariant** means extending those two tables: a new
+array-valued fact goes into :func:`load_value` (what a load from the
+array is known to return), a new geometry fact into
+:func:`array_length` or :func:`kernel_bounder` (how large the array
+is / what range a symbol spans). Nothing else in the verifier needs
+to change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Bounder",
+    "IVal",
+    "LinExpr",
+    "SymRange",
+    "array_length",
+    "kernel_bounder",
+    "load_value",
+    "seed_thread_symbols",
+]
+
+#: symbols bound checks reduce to; ``n >= 1`` and ``m >= 0`` are the
+#: only facts needed to finish a proof.
+GROUND_SYMBOLS = ("n", "m")
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """A linear form ``sum(coeff * symbol) + const`` over named symbols."""
+
+    terms: tuple[tuple[str, float], ...] = ()
+    const: float = 0.0
+
+    @staticmethod
+    def of(value: float) -> "LinExpr":
+        return LinExpr((), float(value))
+
+    @staticmethod
+    def sym(name: str, coeff: float = 1.0) -> "LinExpr":
+        return LinExpr(((name, float(coeff)),), 0.0)
+
+    @staticmethod
+    def _normal(terms: dict[str, float], const: float) -> "LinExpr":
+        kept = tuple(sorted((s, c) for s, c in terms.items() if c != 0.0))
+        return LinExpr(kept, float(const))
+
+    def coeff(self, name: str) -> float:
+        for sym, c in self.terms:
+            if sym == name:
+                return c
+        return 0.0
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        return frozenset(s for s, _ in self.terms)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        merged = {s: c for s, c in self.terms}
+        for s, c in other.terms:
+            merged[s] = merged.get(s, 0.0) + c
+        return LinExpr._normal(merged, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(-1.0)
+
+    def scale(self, k: float) -> "LinExpr":
+        return LinExpr._normal({s: c * k for s, c in self.terms}, self.const * k)
+
+    def shift(self, k: float) -> "LinExpr":
+        return LinExpr(self.terms, self.const + k)
+
+    def drop(self, name: str) -> "LinExpr":
+        """The form with ``name``'s term removed (its residual)."""
+        return LinExpr._normal(
+            {s: c for s, c in self.terms if s != name}, self.const
+        )
+
+    def substitute(self, name: str, repl: "LinExpr") -> "LinExpr":
+        c = self.coeff(name)
+        if c == 0.0:
+            return self
+        return self.drop(name) + repl.scale(c)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for sym, c in self.terms:
+            if c == 1.0:
+                parts.append(sym)
+            elif c == -1.0:
+                parts.append(f"-{sym}")
+            else:
+                parts.append(f"{c:g}*{sym}")
+        if self.const or not parts:
+            parts.append(f"{self.const:g}")
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class SymRange:
+    """Declared range of one symbol (either side may be unbounded)."""
+
+    lo: LinExpr | None
+    hi: LinExpr | None
+
+
+class Bounder:
+    """Decides ``expr >= 0`` by eliminating symbols through their ranges.
+
+    Elimination is directional: an upper bound substitutes each
+    positive-coefficient symbol by its ``hi`` and each negative one by
+    its ``lo`` (and symmetrically for lower bounds), recursing until
+    only ground symbols remain. Ranges may reference other symbols
+    (``start``'s hi is ``m - deg``), so elimination order matters:
+    a symbol must go while the symbols its bound mentions are still
+    present, or correlations cancel too late (``start + deg`` reduces
+    to ``m`` only if ``start → m - deg`` happens while the ``deg``
+    term survives). :data:`_ELIMINATION_ORDER` encodes that
+    dependency chain; it also makes reduction deterministic.
+    """
+
+    _MAX_PASSES = 32
+
+    #: dependent symbols first: start (mentions deg), thread ids, lane
+    #: (mentions W), then the leaves.
+    _ELIMINATION_ORDER = ("start", "t", "l", "deg", "W")
+
+    def __init__(self, ranges: dict[str, SymRange]) -> None:
+        self.ranges = ranges
+
+    def _elimination_key(self, sym: str) -> tuple[int, str]:
+        try:
+            return (self._ELIMINATION_ORDER.index(sym), sym)
+        except ValueError:
+            return (len(self._ELIMINATION_ORDER), sym)
+
+    def _reduce(self, expr: LinExpr, *, upper: bool) -> LinExpr | None:
+        for _ in range(self._MAX_PASSES):
+            pending = sorted(
+                (s for s in expr.symbols if s not in GROUND_SYMBOLS),
+                key=self._elimination_key,
+            )
+            if not pending:
+                return expr
+            sym = pending[0]
+            rng = self.ranges.get(sym)
+            if rng is None:
+                return None
+            coeff = expr.coeff(sym)
+            want_hi = (coeff > 0) == upper
+            bound = rng.hi if want_hi else rng.lo
+            if bound is None:
+                return None
+            expr = expr.substitute(sym, bound)
+        return None
+
+    def upper(self, expr: LinExpr) -> LinExpr | None:
+        """A ground-symbol upper bound for ``expr`` (or None)."""
+        return self._reduce(expr, upper=True)
+
+    def lower(self, expr: LinExpr) -> LinExpr | None:
+        return self._reduce(expr, upper=False)
+
+    def nonneg(self, expr: LinExpr) -> bool:
+        """True when ``expr >= 0`` is provable from the declared ranges."""
+        ground = self.lower(expr)
+        if ground is None:
+            return False
+        worst = ground.const
+        for sym, coeff in ground.terms:
+            if coeff < 0:
+                return False  # n and m are unbounded above
+            worst += coeff * (1.0 if sym == "n" else 0.0)
+        return worst >= 0
+
+    def le(self, a: LinExpr, b: LinExpr) -> bool:
+        """True when ``a <= b`` is provable."""
+        return self.nonneg(b - a)
+
+
+@dataclass(frozen=True)
+class IVal:
+    """Abstract value: optional exact affine form plus interval bounds."""
+
+    exact: LinExpr | None = None
+    lo: LinExpr | None = None
+    hi: LinExpr | None = None
+
+    @staticmethod
+    def top() -> "IVal":
+        return IVal()
+
+    @staticmethod
+    def const(value: float) -> "IVal":
+        e = LinExpr.of(value)
+        return IVal(exact=e, lo=e, hi=e)
+
+    @staticmethod
+    def of(expr: LinExpr, lo: LinExpr | None = None, hi: LinExpr | None = None) -> "IVal":
+        return IVal(exact=expr, lo=lo if lo is not None else expr, hi=hi if hi is not None else expr)
+
+    @staticmethod
+    def ranged(lo: LinExpr | None, hi: LinExpr | None) -> "IVal":
+        return IVal(exact=None, lo=lo, hi=hi)
+
+    @property
+    def eff_lo(self) -> LinExpr | None:
+        """The interval side (seeded from ``exact``, tightened by guards)."""
+        return self.lo if self.lo is not None else self.exact
+
+    @property
+    def eff_hi(self) -> LinExpr | None:
+        return self.hi if self.hi is not None else self.exact
+
+    def best_lo(self, bounder: "Bounder") -> LinExpr | None:
+        """The provably-larger of the exact form and the interval side.
+
+        Both are sound lower bounds; interval arithmetic can degrade
+        one while the exact form stays tight (or vice versa after a
+        guard refinement), so proofs try the better of the two —
+        preferring ``exact`` when the bounder cannot order them.
+        """
+        if self.exact is None:
+            return self.lo
+        if self.lo is None:
+            return self.exact
+        return self.lo if bounder.le(self.exact, self.lo) else self.exact
+
+    def best_hi(self, bounder: "Bounder") -> LinExpr | None:
+        if self.exact is None:
+            return self.hi
+        if self.hi is None:
+            return self.exact
+        return self.hi if bounder.le(self.hi, self.exact) else self.exact
+
+    def __add__(self, other: "IVal") -> "IVal":
+        exact = (
+            self.exact + other.exact
+            if self.exact is not None and other.exact is not None
+            else None
+        )
+        a_lo, a_hi = self.eff_lo, self.eff_hi
+        b_lo, b_hi = other.eff_lo, other.eff_hi
+        return IVal(
+            exact=exact,
+            lo=a_lo + b_lo if a_lo is not None and b_lo is not None else None,
+            hi=a_hi + b_hi if a_hi is not None and b_hi is not None else None,
+        )
+
+    def __sub__(self, other: "IVal") -> "IVal":
+        return self + other.scale(-1.0)
+
+    def scale(self, k: float) -> "IVal":
+        exact = self.exact.scale(k) if self.exact is not None else None
+        lo, hi = self.eff_lo, self.eff_hi
+        if k < 0:
+            lo, hi = hi, lo
+        return IVal(
+            exact=exact,
+            lo=lo.scale(k) if lo is not None else None,
+            hi=hi.scale(k) if hi is not None else None,
+        )
+
+    def join(self, other: "IVal", bounder: Bounder) -> "IVal":
+        """Least-effort upper bound of two values (interval hull)."""
+        exact = self.exact if self.exact == other.exact else None
+        lo = _pick(self.eff_lo, other.eff_lo, bounder, want_min=True)
+        hi = _pick(self.eff_hi, other.eff_hi, bounder, want_min=False)
+        return IVal(exact=exact, lo=lo, hi=hi)
+
+
+def _pick(
+    a: LinExpr | None, b: LinExpr | None, bounder: Bounder, *, want_min: bool
+) -> LinExpr | None:
+    """The provably-safe hull bound of two candidates, else None."""
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if bounder.le(a, b):
+        return a if want_min else b
+    if bounder.le(b, a):
+        return b if want_min else a
+    return None
+
+
+# ----------------------------------------------------------------------
+# the kernel-launch invariant tables
+# ----------------------------------------------------------------------
+
+_N = LinExpr.sym("n")
+_M = LinExpr.sym("m")
+_W = LinExpr.sym("W")
+_T = LinExpr.sym("t")
+_ZERO = LinExpr.of(0)
+
+
+def kernel_bounder(grid: str, *, wavefront_size: int = 64) -> Bounder:
+    """Symbol ranges for one kernel launch over ``grid``.
+
+    ``t`` is the owning thread (thread-per-vertex / per-edge grids) or
+    the owning wavefront (vertex-wavefront grids) — either way the
+    unit the sync model treats as an interleaving source.
+    """
+    t_hi = _M.shift(-1) if grid == "edge" else _N.shift(-1)
+    return Bounder(
+        {
+            "n": SymRange(LinExpr.of(1), None),
+            "m": SymRange(_ZERO, None),
+            "W": SymRange(LinExpr.of(wavefront_size), LinExpr.of(wavefront_size)),
+            "t": SymRange(_ZERO, t_hi),
+            "l": SymRange(_ZERO, _W.shift(-1)),
+            "deg": SymRange(_ZERO, _N.shift(-1)),
+            "start": SymRange(_ZERO, _M - LinExpr.sym("deg")),
+        }
+    )
+
+
+def seed_thread_symbols(params: tuple[str, ...], grid: str) -> dict[str, IVal]:
+    """Initial abstract values for a kernel's id parameters."""
+    env: dict[str, IVal] = {}
+    for p in params:
+        if p in ("tid", "wid"):
+            hi = _M.shift(-1) if grid == "edge" else _N.shift(-1)
+            env[p] = IVal.of(_T, _ZERO, hi)
+        elif p == "lane":
+            env[p] = IVal.of(LinExpr.sym("l"), _ZERO, _W.shift(-1))
+    return env
+
+
+def array_length(name: str, grid: str) -> LinExpr:
+    """Declared length of a global/local array parameter.
+
+    The CSR geometry: ``indptr`` has ``n + 1`` entries, the entry
+    arrays (``indices`` and the directed-edge endpoint arrays) have
+    ``m``, wavefront scratch has ``W`` slots, and every other state
+    array is vertex-indexed with ``n`` entries.
+    """
+    if name == "indptr":
+        return _N.shift(1)
+    if name in ("indices", "edge_u", "edge_v"):
+        return _M
+    if name.startswith("scratch"):
+        return _W
+    return _N
+
+
+def load_value(name: str, index: IVal) -> IVal:
+    """What the CSR invariants say a load from ``name`` returns.
+
+    * ``indptr[t]`` / ``indptr[t + 1]`` are the owner's row bounds
+      (``start`` / ``start + deg``); any other ``indptr`` entry is
+      some offset in ``[0, m]`` (monotonicity).
+    * entry/endpoint arrays hold vertex ids in ``[0, n - 1]``.
+    * color arrays hold ``UNCOLORED`` (−1) or a color in ``[0, n)``.
+    * everything else (priorities, accumulators, scratch) is
+      unconstrained.
+    """
+    if name == "indptr":
+        start = LinExpr.sym("start")
+        if index.exact == _T:
+            return IVal.of(start, _ZERO, _M)
+        if index.exact == _T.shift(1):
+            return IVal.of(start + LinExpr.sym("deg"), _ZERO, _M)
+        return IVal.ranged(_ZERO, _M)
+    if name in ("indices", "edge_u", "edge_v"):
+        return IVal.ranged(_ZERO, _N.shift(-1))
+    if name.startswith("colors"):
+        return IVal.ranged(LinExpr.of(-1), _N.shift(-1))
+    return IVal.top()

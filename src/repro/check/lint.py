@@ -36,6 +36,19 @@ a determinism or correctness rationale that ruff/flake8 cannot express:
   can corrupt or fork the history. Flags write-mode ``open`` calls
   (and ``Path.write_text`` / ``write_bytes``) whose arguments mention
   ``records.jsonl``.
+* ``RC006`` **store-owns-sqlite** — no ``sqlite3.connect(...)``
+  outside :mod:`repro.store`. Connections are confined to the thread
+  (and, under the serve executor, the worker process) that opened
+  them; the store package owns pragmas, locking, and schema
+  migration, and the serve executor's per-worker ``RunStore`` is the
+  sanctioned way to get a connection elsewhere. Passing
+  ``check_same_thread=False`` is flagged *anywhere* — it disables the
+  one guard sqlite itself provides.
+* ``RC007`` **locked-shm-attach** — no ``SharedMemory(...)``
+  construction outside :mod:`repro.harness.parallel`. Attaching to a
+  segment races with the creator's unlink unless it goes through the
+  registry lock in ``attach_graph``; a stray attach can resurrect a
+  segment mid-teardown and leak it past interpreter exit.
 
 Suppress a finding with an inline ``# check: allow(RCnnn)`` comment.
 """
@@ -63,6 +76,8 @@ RULES: dict[str, str] = {
     "RC003": "mutation of CSR arrays (indptr/indices) inside kernel code",
     "RC004": "trace-list append inside a loop outside the repro.obs sinks",
     "RC005": "direct records.jsonl write outside repro.store / the export shim",
+    "RC006": "sqlite3 connection opened outside repro.store",
+    "RC007": "SharedMemory attach outside the locked harness.parallel path",
 }
 
 #: np.random entry points that take (or wrap) an explicit seed — calls
@@ -99,6 +114,12 @@ _SIM_DOMAIN = ("gpusim/", "coloring/")
 #: modules allowed to write ``records.jsonl`` directly: the store
 #: package and the deprecated jsonl export shim it supersedes.
 _RECORDS_WRITERS = ("repro/store/", "analysis/experiment.py")
+
+#: the only package allowed to open sqlite connections directly.
+_SQLITE_OWNERS = ("repro/store/",)
+
+#: the only module allowed to construct/attach SharedMemory segments.
+_SHM_OWNERS = ("harness/parallel",)
 
 
 @dataclass(frozen=True)
@@ -199,11 +220,15 @@ class _Checker(ast.NodeVisitor):
         in_obs: bool,
         loop_depths: dict[int, int] | None = None,
         in_records_writer: bool = False,
+        in_sqlite_owner: bool = False,
+        in_shm_owner: bool = False,
     ) -> None:
         self.path = path
         self.in_sim_domain = in_sim_domain
         self.in_obs = in_obs
         self.in_records_writer = in_records_writer
+        self.in_sqlite_owner = in_sqlite_owner
+        self.in_shm_owner = in_shm_owner
         self.loop_depths = loop_depths if loop_depths is not None else {}
         self.violations: list[LintViolation] = []
 
@@ -357,6 +382,49 @@ class _Checker(ast.NodeVisitor):
                 )
                 return
 
+    # -- RC006 ----------------------------------------------------------
+
+    def _check_sqlite_connect(self, node: ast.Call, chain: list[str]) -> None:
+        is_connect = len(chain) >= 2 and chain[0] == "sqlite3" and chain[-1] == "connect"
+        if is_connect and not self.in_sqlite_owner:
+            self._flag(
+                "RC006",
+                node,
+                "sqlite3.connect() outside repro.store — go through "
+                "RunStore (the serve executor keeps one per worker); the "
+                "store owns pragmas, locking, and schema migration",
+            )
+        if not is_connect:
+            return
+        # check_same_thread=False is flagged even inside the store: it
+        # turns off sqlite's only thread-confinement guard.
+        for kw in node.keywords:
+            if (
+                kw.arg == "check_same_thread"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            ):
+                self._flag(
+                    "RC006",
+                    node,
+                    "check_same_thread=False shares one sqlite connection "
+                    "across threads; keep connections thread-confined",
+                )
+
+    # -- RC007 ----------------------------------------------------------
+
+    def _check_shm_attach(self, node: ast.Call, chain: list[str]) -> None:
+        if self.in_shm_owner:
+            return
+        if chain and chain[-1] == "SharedMemory":
+            self._flag(
+                "RC007",
+                node,
+                f"{'.'.join(chain)}(...) outside repro.harness.parallel — "
+                "attach through attach_graph, which holds the registry "
+                "lock against creator unlink",
+            )
+
     # -- dispatch -------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -366,6 +434,8 @@ class _Checker(ast.NodeVisitor):
             self._check_wall_clock(node, chain)
             self._check_setflags(node, chain)
             self._check_trace_append(node, chain)
+            self._check_sqlite_connect(node, chain)
+            self._check_shm_attach(node, chain)
         self._check_records_write(node)
         self.generic_visit(node)
 
@@ -379,12 +449,14 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _domain_flags(path: str) -> tuple[bool, bool, bool]:
+def _domain_flags(path: str) -> tuple[bool, bool, bool, bool, bool]:
     posix = Path(path).as_posix()
     in_sim = any(frag in posix for frag in _SIM_DOMAIN)
     in_obs = "obs/" in posix or posix.endswith("obs")
     in_records_writer = any(frag in posix for frag in _RECORDS_WRITERS)
-    return in_sim, in_obs, in_records_writer
+    in_sqlite_owner = any(frag in posix for frag in _SQLITE_OWNERS)
+    in_shm_owner = any(frag in posix for frag in _SHM_OWNERS)
+    return in_sim, in_obs, in_records_writer, in_sqlite_owner, in_shm_owner
 
 
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
@@ -401,13 +473,17 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    in_sim, in_obs, in_records_writer = _domain_flags(path)
+    in_sim, in_obs, in_records_writer, in_sqlite_owner, in_shm_owner = _domain_flags(
+        path
+    )
     checker = _Checker(
         path,
         in_sim,
         in_obs,
         loop_depths=_loop_depths(tree),
         in_records_writer=in_records_writer,
+        in_sqlite_owner=in_sqlite_owner,
+        in_shm_owner=in_shm_owner,
     )
     checker.visit(tree)
     lines = source.splitlines()

@@ -39,6 +39,12 @@ import numpy as np
 from ..coloring._nbr import first_fit_colors, neighbor_max, neighbor_min
 from ..coloring.base import UNCOLORED
 from ..graphs.csr import CSRGraph
+from .concurrency import (
+    DEFAULT_WAVEFRONT_SIZE,
+    classify_element,
+    expected_racy,
+    wavefront_of,
+)
 
 __all__ = [
     "Access",
@@ -83,7 +89,7 @@ class AccessLog:
     :meth:`read`/:meth:`write` records a whole index array at once.
     """
 
-    def __init__(self, wavefront_size: int = 64) -> None:
+    def __init__(self, wavefront_size: int = DEFAULT_WAVEFRONT_SIZE) -> None:
         if wavefront_size <= 0:
             raise ValueError("wavefront_size must be positive")
         self.wavefront_size = wavefront_size
@@ -155,7 +161,7 @@ class AccessLog:
                 array,
                 step,
                 idx,
-                tid // self.wavefront_size,
+                wavefront_of(tid, self.wavefront_size),
                 np.concatenate(b.writes),
                 np.concatenate(b.atomics),
                 tid,
@@ -195,12 +201,12 @@ def detect_races(
 ) -> list[RaceFinding]:
     """Flag same-step, cross-wavefront conflicts lacking an atomic edge.
 
-    An element conflicts when, within one kernel step, it is touched by
-    two or more distinct wavefronts, at least one access is a write,
-    and not every write is atomic (atomic RMW sequences serialize at
-    the memory controller, so all-atomic contention is ordered).
-    Findings on arrays in ``expected_racy`` are kept but marked
-    ``expected`` — the caller's proof is "every race is expected".
+    The conflict rule itself (same element + same step + ≥2 wavefronts
+    + ≥1 write + not all-atomic) is the shared
+    :func:`repro.check.concurrency.classify_element` definition — the
+    static verifier proves against the same rule. Findings on arrays
+    in ``expected_racy`` are kept but marked ``expected`` — the
+    caller's proof is "every race is expected".
 
     At most ``max_findings_per_array`` findings are materialized per
     array; ``counts_out`` (when given) receives the *full* per-array
@@ -216,24 +222,8 @@ def detect_races(
         for s, e in zip(group_starts, group_ends, strict=True):
             if e - s < 2:
                 continue
-            g_wf, g_wr, g_at = wf[s:e], wr[s:e], at[s:e]
-            if not g_wr.any():
-                continue  # read-only element
-            wfs = np.unique(g_wf)
-            if wfs.size < 2:
-                continue  # single wavefront: lockstep, no interleaving
-            # A write only conflicts across wavefronts; ignore elements
-            # where every cross-wavefront write is atomic *and* every
-            # conflicting read is atomic.
-            if bool(np.all(g_at)):
-                continue
-            # write/write: two non-atomic writes from different wavefronts
-            wwf = np.unique(g_wf[g_wr])
-            has_ww = wwf.size >= 2
-            # read/write: a write in one wavefront, any access in another
-            # (cross-wavefront reader of a written element, or vice versa)
-            has_rw = bool(np.any(~g_wr)) or has_ww
-            if not (has_ww or has_rw):
+            conflict = classify_element(wf[s:e], wr[s:e], at[s:e])
+            if conflict is None:
                 continue
             count = per_array.get(array, 0)
             per_array[array] = count + 1
@@ -258,8 +248,8 @@ def detect_races(
                     step=step,
                     step_name=log.step_names[step],
                     num_accesses=int(e - s),
-                    num_wavefronts=int(wfs.size),
-                    has_write_write=has_ww,
+                    num_wavefronts=conflict.num_wavefronts,
+                    has_write_write=conflict.has_write_write,
                     expected=array in expected_racy,
                     samples=samples,
                 )
@@ -461,11 +451,69 @@ def _scan_speculative(
     return colors
 
 
-#: algorithm → (replay function, arrays where races are *by design*).
+def _scan_edge_centric(
+    graph: CSRGraph, log: AccessLog, *, seed: int, max_rounds: int
+) -> np.ndarray:
+    from ..coloring.maxmin import compact_colors
+    from ..coloring.priorities import make_priorities
+
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    priorities = make_priorities(graph, "random", seed=seed)
+    edge_u, edge_v = graph.edge_array()
+    edge_u = edge_u.astype(np.int64)
+    edge_v = edge_v.astype(np.int64)
+    uncolored = np.ones(n, dtype=bool)
+    k = 0
+    while uncolored.any() and k < max_rounds:
+        # Edge-fold kernel: one thread per directed edge, O(1) work —
+        # read both endpoint states, atomically fold the far endpoint's
+        # priority into the owner's accumulator when both are active.
+        ethreads = np.arange(edge_u.size, dtype=np.int64)
+        log.read("edge_u", ethreads, ethreads)
+        log.read("edge_v", ethreads, ethreads)
+        log.read("colors", edge_u, ethreads)
+        log.read("colors", edge_v, ethreads)
+        both = uncolored[edge_u] & uncolored[edge_v]
+        fold_threads = ethreads[both]
+        log.read("priorities", edge_v[both], fold_threads)
+        log.read("acc_max", edge_u[both], fold_threads, atomic=True)
+        log.write("acc_max", edge_u[both], fold_threads, atomic=True)
+        log.read("acc_min", edge_u[both], fold_threads, atomic=True)
+        log.write("acc_min", edge_u[both], fold_threads, atomic=True)
+        pr_hi = np.where(uncolored, priorities, -np.inf)
+        pr_lo = np.where(uncolored, priorities, np.inf)
+        nbr_hi = neighbor_max(graph, pr_hi)
+        nbr_lo = neighbor_min(graph, pr_lo)
+        log.next_step(f"ec_decide_round{k}")
+        # Decide kernel: one thread per active vertex, O(1) work — each
+        # thread touches only its own element of every vertex array.
+        active = np.flatnonzero(uncolored)
+        threads = np.arange(active.size, dtype=np.int64)
+        log.read("colors", active, threads)
+        log.read("priorities", active, threads)
+        log.read("acc_max", active, threads)
+        log.read("acc_min", active, threads)
+        is_max = uncolored & (priorities > nbr_hi)
+        is_min = uncolored & (priorities < nbr_lo) & ~is_max
+        colors[is_max] = 2 * k
+        colors[is_min] = 2 * k + 1
+        newly = np.flatnonzero(is_max | is_min)
+        pos = np.searchsorted(active, newly)
+        log.write("colors", newly, threads[pos])
+        uncolored &= ~(is_max | is_min)
+        log.next_step(f"ec_fold_round{k + 1}")
+        k += 1
+    return compact_colors(colors)
+
+
+#: algorithm → replay function; each scanner's *expected-racy* arrays
+#: come from the shared ``concurrency.INPLACE_ARRAYS`` declaration.
 RACE_SCANNERS = {
-    "jp": (_scan_jones_plassmann, frozenset()),
-    "maxmin": (_scan_maxmin, frozenset()),
-    "speculative": (_scan_speculative, frozenset({"colors"})),
+    "jp": (_scan_jones_plassmann, expected_racy("jp")),
+    "maxmin": (_scan_maxmin, expected_racy("maxmin")),
+    "speculative": (_scan_speculative, expected_racy("speculative")),
+    "edge-centric": (_scan_edge_centric, expected_racy("edge-centric")),
 }
 
 
@@ -474,7 +522,7 @@ def scan_algorithm_races(
     algorithm: str = "speculative",
     *,
     seed: int = 0,
-    wavefront_size: int = 64,
+    wavefront_size: int = DEFAULT_WAVEFRONT_SIZE,
     max_rounds: int = 10_000,
     max_findings_per_array: int = 50,
 ) -> RaceScan:

@@ -16,6 +16,7 @@ Subcommands::
     repro-color check races --algorithm all    # simulated-race detector
     repro-color check lint src                 # repo-specific lint pass
     repro-color check golden --write           # golden digests / drift
+    repro-color check verify                   # static race/bounds verifier
     repro-color pipeline run report-smoke --store ci.sqlite
     repro-color report --store ci.sqlite --fail-on-regression
     repro-color db info                        # run-store table counts
@@ -453,7 +454,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_check = sub.add_parser(
-        "check", help="correctness tooling: validators, races, lint, golden"
+        "check",
+        help="correctness tooling: validators, races, lint, golden, verify",
     )
     check_sub = p_check.add_subparsers(dest="check_command", required=True)
 
@@ -548,6 +550,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="which device-kernel mapping to analyze",
     )
     c_flow.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    c_verify = check_sub.add_parser(
+        "verify",
+        help="static race-freedom and memory-safety verifier over kernel specs",
+    )
+    c_verify.add_argument(
+        "--algorithm",
+        "-a",
+        default="all",
+        choices=["all"] + sorted(GPU_ALGORITHMS),
+        help="'all' verifies every GPU algorithm's kernel specs",
+    )
+    c_verify.add_argument(
+        "--mapping",
+        choices=("thread", "wavefront"),
+        default="thread",
+        help="which device-kernel mapping to verify",
+    )
+    c_verify.add_argument(
+        "--graph",
+        "-g",
+        default="rmat",
+        help="suite dataset or graph file for the static/dynamic "
+        "cross-check ('none' skips the dynamic replay)",
+    )
+    c_verify.add_argument("--scale", choices=SCALES, default="small")
+    c_verify.add_argument("--seed", type=int, default=0)
+    c_verify.add_argument(
+        "--wavefront-size",
+        type=int,
+        default=64,
+        help="lanes per wavefront for the lockstep exemption",
+    )
+    c_verify.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     p_serve = sub.add_parser(
         "serve", help="run the coloring job server (see repro.serve)"
@@ -1508,6 +1544,109 @@ def _cmd_check_flow(args: argparse.Namespace) -> int:
     return 1 if unknown else 0
 
 
+def _cmd_check_verify(args: argparse.Namespace) -> int:
+    from .check.flow.memsafe import cross_check, verify_algorithm
+
+    algorithms = (
+        sorted(GPU_ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    )
+    reports = []
+    for algo in algorithms:
+        try:
+            report = verify_algorithm(
+                algo, mapping=args.mapping, wavefront_size=args.wavefront_size
+            )
+        except KeyError:
+            # not every algorithm has kernels under every mapping
+            if not args.json:
+                print(f"{algo}: no {args.mapping}-mapping kernels (skipped)")
+            continue
+        reports.append(report)
+
+    # the dynamic scanners replay the thread-mapped semantics, so the
+    # cross-check only applies under that mapping
+    rows = graph_name = None
+    if args.graph != "none" and args.mapping == "thread":
+        from .check.races import RACE_SCANNERS
+
+        scannable = tuple(
+            a for a in (r.algorithm for r in reports) if a in RACE_SCANNERS
+        )
+        if scannable:
+            graph, graph_name = _resolve_graph(args.graph, args.scale)
+            rows = cross_check(
+                graph,
+                algorithms=scannable,
+                seed=args.seed,
+                wavefront_size=args.wavefront_size,
+            )
+
+    failed = sum(1 for r in reports if not r.ok)
+    disagree = sum(1 for row in rows or [] if not row.agree)
+    ok = not failed and not disagree
+
+    if args.json:
+        doc: dict[str, object] = {
+            "mapping": args.mapping,
+            "algorithms": [r.to_dict() for r in reports],
+            "ok": ok,
+        }
+        if rows is not None:
+            doc["graph"] = graph_name
+            doc["seed"] = args.seed
+            doc["cross_check"] = [row.to_dict() for row in rows]
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+
+    kernel_rows = []
+    seen: set[str] = set()
+    for r in reports:
+        for k in r.kernels:
+            if k.kernel in seen:
+                continue
+            seen.add(k.kernel)
+            kernel_rows.append(
+                {
+                    "kernel": k.kernel,
+                    "grid": k.grid,
+                    "accesses": len(k.sites),
+                    "in_bounds": len(k.sites) - len(k.unproven),
+                    "status": "proven" if k.bounds_ok else "UNPROVEN",
+                }
+            )
+    if kernel_rows:
+        print(
+            format_table(
+                kernel_rows,
+                title=f"kernel bounds proofs ({args.mapping} mapping)",
+            )
+        )
+        print()
+    for r in reports:
+        print(r.summary())
+    if rows is not None:
+        print()
+        print(f"cross-check on {graph_name} (seed {args.seed}):")
+        for row in rows:
+            status = "agree" if row.agree else "DISAGREE"
+            print(
+                f"  {row.algorithm}: static may-race "
+                f"{list(row.static_may_race) or '[]'} vs dynamic "
+                f"{list(row.dynamic_racy) or '[]'} "
+                f"({row.dynamic_findings} findings) — {status}"
+            )
+    problems = []
+    if failed:
+        problems.append(f"{failed} algorithms FAILED")
+    if disagree:
+        problems.append(f"{disagree} cross-check disagreements")
+    print(
+        f"repro verify: {len(reports)} algorithms, "
+        f"{'ok' if ok else '; '.join(problems)}"
+    )
+    return 0 if ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     handlers = {
         "validate": _cmd_check_validate,
@@ -1515,6 +1654,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "lint": _cmd_check_lint,
         "golden": _cmd_check_golden,
         "flow": _cmd_check_flow,
+        "verify": _cmd_check_verify,
     }
     return handlers[args.check_command](args)
 

@@ -64,6 +64,13 @@ class DeviceKernel:
     mapping: str  # "thread" | "wavefront"
     grid: str  # what a thread is: "vertex" | "edge" | "vertex-wavefront"
     uniform_params: tuple[str, ...] = ()
+    #: arrays every kernel access hits with atomic RMW (the spec-level
+    #: spelling of atomicMax/atomicMin) — the static verifier's atomic
+    #: exemption and the dynamic log's ``atomic=True`` tag.
+    atomic_arrays: tuple[str, ...] = ()
+    #: wavefront-local (LDS) arrays: shared by the lanes of one
+    #: wavefront only, never across wavefronts.
+    local_arrays: tuple[str, ...] = ()
     notes: str = ""
 
     @property
@@ -98,6 +105,8 @@ def device_kernel(
     mapping: str = "thread",
     grid: str = "vertex",
     uniform_params: tuple[str, ...] = (),
+    atomic_arrays: tuple[str, ...] = (),
+    local_arrays: tuple[str, ...] = (),
     notes: str = "",
 ) -> Callable[[Callable[..., None]], Callable[..., None]]:
     """Register a per-thread kernel spec under its algorithms."""
@@ -110,6 +119,8 @@ def device_kernel(
             mapping=mapping,
             grid=grid,
             uniform_params=uniform_params,
+            atomic_arrays=atomic_arrays,
+            local_arrays=local_arrays,
             notes=notes,
         )
         DEVICE_KERNELS[spec.name] = spec
@@ -183,6 +194,7 @@ def maxmin_sweep(tid, indptr, indices, priorities, colors_in, colors_out, round_
     mapping="wavefront",
     grid="vertex-wavefront",
     uniform_params=("round_k", "wavefront_size"),
+    local_arrays=("scratch_max", "scratch_min"),
     notes="cooperative variant: 64 lanes stride one neighbor list",
 )
 def maxmin_wavefront_sweep(
@@ -328,6 +340,7 @@ def spec_detect(tid, indptr, indices, priorities, colors_in, colors_out):
 @device_kernel(
     algorithms=("edge-centric",),
     grid="edge",
+    atomic_arrays=("acc_max", "acc_min"),
     notes="one thread per directed edge; atomic max/min fold into the owner",
 )
 def ec_edge_fold(tid, edge_u, edge_v, priorities, colors_in, acc_max, acc_min):

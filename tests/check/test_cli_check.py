@@ -112,7 +112,15 @@ class TestCheckLint:
         rc = main(["check", "lint", "--explain", "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        assert set(payload["rules"]) == {"RC001", "RC002", "RC003", "RC004", "RC005"}
+        assert set(payload["rules"]) == {
+            "RC001",
+            "RC002",
+            "RC003",
+            "RC004",
+            "RC005",
+            "RC006",
+            "RC007",
+        }
 
 
 class TestCheckGolden:
@@ -217,6 +225,50 @@ class TestCheckFlow:
         with pytest.raises(SystemExit) as exc:
             main(["check", "flow", "-a", "nope"])
         assert exc.value.code == 2  # argparse choices rejection
+
+
+class TestCheckVerify:
+    def test_all_algorithms_text(self, capsys):
+        rc = main(["check", "verify", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel bounds proofs" in out
+        for algo in ("maxmin", "jp", "speculative", "edge-centric"):
+            assert f"verify:{algo}" in out
+        assert "cross-check on rmat" in out
+        assert "repro verify:" in out and "ok" in out
+
+    def test_single_algorithm_json(self, capsys):
+        rc = main(["check", "verify", "-a", "speculative", "--scale", "tiny",
+                   "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert payload["ok"] is True
+        (entry,) = payload["algorithms"]
+        assert entry["algorithm"] == "speculative"
+        assert entry["may_race"] == ["colors"] == entry["expected_racy"]
+        assert entry["unexpected"] == []
+        (row,) = payload["cross_check"]
+        assert row["agree"] is True and row["dynamic_findings"] > 0
+
+    def test_graph_none_skips_cross_check(self, capsys):
+        rc = main(["check", "verify", "-a", "jp", "-g", "none", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        assert "cross_check" not in payload
+
+    def test_wavefront_mapping(self, capsys):
+        rc = main(["check", "verify", "--mapping", "wavefront", "-g", "none"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verify:maxmin[wavefront]" in out
+        assert "jp: no wavefront-mapping kernels (skipped)" in out
+        assert "scratch_max" in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "verify", "-a", "nope"])
+        assert exc.value.code == 2
 
 
 class TestMalformedArguments:

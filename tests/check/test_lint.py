@@ -211,6 +211,76 @@ class TestRC005RecordsWrites:
         assert _rules(lint_source(src, HARNESS_PATH)) == {"RC005"}
 
 
+class TestRC006SqliteOwnership:
+    STORE_PATH = "src/repro/store/db.py"
+
+    def test_connect_outside_store_flagged(self):
+        src = 'import sqlite3\nconn = sqlite3.connect("runs.sqlite")\n'
+        assert _rules(lint_source(src, HARNESS_PATH)) == {"RC006"}
+
+    def test_connect_inside_store_clean(self):
+        src = 'import sqlite3\nconn = sqlite3.connect("runs.sqlite")\n'
+        assert lint_source(src, self.STORE_PATH) == []
+
+    def test_check_same_thread_false_flagged_even_in_store(self):
+        src = (
+            "import sqlite3\n"
+            'conn = sqlite3.connect("runs.sqlite", check_same_thread=False)\n'
+        )
+        assert _rules(lint_source(src, self.STORE_PATH)) == {"RC006"}
+
+    def test_check_same_thread_true_clean_in_store(self):
+        src = (
+            "import sqlite3\n"
+            'conn = sqlite3.connect("runs.sqlite", check_same_thread=True)\n'
+        )
+        assert lint_source(src, self.STORE_PATH) == []
+
+    def test_other_sqlite_api_clean(self):
+        src = "import sqlite3\nrow = sqlite3.Row\n"
+        assert lint_source(src, HARNESS_PATH) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "import sqlite3\n"
+            'c = sqlite3.connect("x.db")  # check: allow(RC006)\n'
+        )
+        assert lint_source(src, HARNESS_PATH) == []
+
+
+class TestRC007SharedMemoryAttach:
+    PARALLEL_PATH = "src/repro/harness/parallel.py"
+
+    def test_bare_constructor_flagged(self):
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            'shm = SharedMemory(name="g", create=False)\n'
+        )
+        assert _rules(lint_source(src, "src/repro/serve/executor.py"))
+        assert _rules(lint_source(src, "src/repro/serve/executor.py")) == {"RC007"}
+
+    def test_module_qualified_constructor_flagged(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            'shm = shared_memory.SharedMemory(name="g")\n'
+        )
+        assert _rules(lint_source(src, HARNESS_PATH)) == {"RC007"}
+
+    def test_parallel_module_is_exempt(self):
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            'shm = SharedMemory(name="g", create=True, size=64)\n'
+        )
+        assert lint_source(src, self.PARALLEL_PATH) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            'shm = SharedMemory(name="g")  # check: allow(RC007)\n'
+        )
+        assert lint_source(src, HARNESS_PATH) == []
+
+
 class TestMechanics:
     def test_inline_suppression(self):
         src = "import numpy as np\nx = np.random.rand(3)  # check: allow(RC001)\n"
@@ -229,7 +299,15 @@ class TestMechanics:
         assert str(v).startswith("m.py:2:")
 
     def test_every_rule_documented(self):
-        assert set(RULES) == {"RC001", "RC002", "RC003", "RC004", "RC005"}
+        assert set(RULES) == {
+            "RC001",
+            "RC002",
+            "RC003",
+            "RC004",
+            "RC005",
+            "RC006",
+            "RC007",
+        }
 
     def test_lint_file_and_paths(self, tmp_path):
         bad = tmp_path / "gpusim" / "mod.py"

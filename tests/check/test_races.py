@@ -12,6 +12,7 @@ from repro.check.races import (
     scan_algorithm_races,
 )
 from repro.check.validators import validate_coloring
+from repro.coloring.edge_centric import edge_centric_maxmin
 from repro.coloring.jones_plassmann import jones_plassmann_coloring
 from repro.coloring.speculative import speculative_coloring
 from repro.graphs import generators as gen
@@ -155,3 +156,15 @@ class TestAlgorithmScans:
         scan = scan_algorithm_races(small_skewed, "speculative", seed=0)
         assert "ok" in scan.summary()
         assert "colors" in scan.summary()
+
+    def test_edge_centric_is_race_free(self, small_skewed):
+        # atomic acc_max/acc_min folds plus snapshot decide: no findings
+        scan = scan_algorithm_races(small_skewed, "edge-centric", seed=0)
+        assert scan.ok and scan.findings == []
+        assert scan.total_accesses > 0
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_edge_centric_replay_matches_real_algorithm(self, small_skewed, seed):
+        scan = scan_algorithm_races(small_skewed, "edge-centric", seed=seed)
+        real = edge_centric_maxmin(small_skewed, None, seed=seed)
+        assert np.array_equal(scan.colors, real.colors)
