@@ -23,6 +23,18 @@ Layers (each building on the previous):
   (race-free, synchronized, atomic-only, may-race with a witness),
   in-bounds proofs for every subscript, and the cross-check against
   the dynamic race replay.
+* :mod:`~repro.check.flow.types` /
+  :mod:`~repro.check.flow.overflow` — the dtype/shape inference
+  lattice (seeded by the specs' declared ``param_dtypes``) that
+  rejects implicit mixed-dtype arithmetic and unsound narrowing, and
+  the value-range analysis over the same affine domain that certifies
+  each integer intermediate as fits-int32 / needs-int64 under
+  explicit scale premises.
+* :mod:`~repro.check.flow.lower` — verified lowering of certified
+  kernels into a typed IR with explicit casts, plus C (cffi) and
+  numba/python emitters; emission refuses any kernel lacking a
+  memsafe ok-verdict and clean type/overflow certificates (the S44
+  gate, enforced in code).
 
 The kernels analyzed are the executable per-thread specs in
 :mod:`repro.coloring.device_kernels`, which the test suite runs
@@ -72,7 +84,40 @@ from .memsafe import (
     verify_kernel,
     verify_kernels,
 )
+from .lower import (
+    CompiledLauncher,
+    IRKernel,
+    IRParam,
+    KernelCertificate,
+    LoweringRefused,
+    SourceLauncher,
+    certificate_for,
+    compile_c,
+    emit_c,
+    emit_python,
+    lower_all,
+    lower_kernel,
+    python_launcher,
+    render_ir,
+)
+from .overflow import (
+    PREMISES,
+    KernelOverflowReport,
+    ValueRange,
+    certify_all,
+    certify_kernel,
+    eval_at,
+)
 from .regions import Bounder, IVal, LinExpr, SymRange, array_length, load_value
+from .types import (
+    AbsType,
+    ArrayType,
+    KernelTypeReport,
+    TypeIssue,
+    infer_all_types,
+    infer_kernel_types,
+    parse_dtype,
+)
 
 __all__ = [
     "CFG",
@@ -120,4 +165,31 @@ __all__ = [
     "verify_device_kernels",
     "verify_kernel",
     "verify_kernels",
+    "AbsType",
+    "ArrayType",
+    "KernelTypeReport",
+    "TypeIssue",
+    "infer_all_types",
+    "infer_kernel_types",
+    "parse_dtype",
+    "PREMISES",
+    "KernelOverflowReport",
+    "ValueRange",
+    "certify_all",
+    "certify_kernel",
+    "eval_at",
+    "CompiledLauncher",
+    "IRKernel",
+    "IRParam",
+    "KernelCertificate",
+    "LoweringRefused",
+    "SourceLauncher",
+    "certificate_for",
+    "compile_c",
+    "emit_c",
+    "emit_python",
+    "lower_all",
+    "lower_kernel",
+    "python_launcher",
+    "render_ir",
 ]

@@ -49,6 +49,17 @@ a determinism or correctness rationale that ruff/flake8 cannot express:
   segment races with the creator's unlink unless it goes through the
   registry lock in ``attach_graph``; a stray attach can resurrect a
   segment mid-teardown and leak it past interpreter exit.
+* ``RC008`` **declared-width-index-math** — inside ``coloring/`` and
+  ``graphs/``, (a) no ``.astype(...)`` to a narrow integer dtype
+  (int32 and smaller): narrowing truncates silently, so every such
+  cast must sit behind a proven capacity guard and carry an explicit
+  ``# check: allow(RC008)``; (b) no ``+``/``-``/``*`` arithmetic whose
+  operand is a bare ``indices`` array: the CSR neighbor array is
+  int32 by contract, and index arithmetic on it (``owner * n +
+  indices``) overflows at scale unless the int32 operand is first
+  widened with an explicit ``.astype(np.int64)``. The overflow
+  certifier (:mod:`repro.check.flow.overflow`) proves the kernel
+  specs; this rule keeps the vectorized host code honest too.
 
 Suppress a finding with an inline ``# check: allow(RCnnn)`` comment.
 """
@@ -78,6 +89,7 @@ RULES: dict[str, str] = {
     "RC005": "direct records.jsonl write outside repro.store / the export shim",
     "RC006": "sqlite3 connection opened outside repro.store",
     "RC007": "SharedMemory attach outside the locked harness.parallel path",
+    "RC008": "narrowing int astype / bare int32 index arithmetic in index code",
 }
 
 #: np.random entry points that take (or wrap) an explicit seed — calls
@@ -120,6 +132,33 @@ _SQLITE_OWNERS = ("repro/store/",)
 
 #: the only module allowed to construct/attach SharedMemory segments.
 _SHM_OWNERS = ("harness/parallel",)
+
+#: path fragments the index-width rule (RC008) applies to: the layers
+#: that do vertex/edge index arithmetic on declared-width arrays.
+_INDEX_DOMAIN = ("coloring/", "graphs/")
+
+#: integer dtypes narrower than or equal to 32 bits — an ``astype`` to
+#: any of these truncates silently past its range.
+_NARROW_INT_DTYPES = {
+    "int8",
+    "int16",
+    "int32",
+    "uint8",
+    "uint16",
+    "uint32",
+    "byte",
+    "ubyte",
+    "short",
+    "ushort",
+    "intc",
+    "uintc",
+    "i1",
+    "i2",
+    "i4",
+    "u1",
+    "u2",
+    "u4",
+}
 
 
 @dataclass(frozen=True)
@@ -222,6 +261,7 @@ class _Checker(ast.NodeVisitor):
         in_records_writer: bool = False,
         in_sqlite_owner: bool = False,
         in_shm_owner: bool = False,
+        in_index_domain: bool = False,
     ) -> None:
         self.path = path
         self.in_sim_domain = in_sim_domain
@@ -229,6 +269,7 @@ class _Checker(ast.NodeVisitor):
         self.in_records_writer = in_records_writer
         self.in_sqlite_owner = in_sqlite_owner
         self.in_shm_owner = in_shm_owner
+        self.in_index_domain = in_index_domain
         self.loop_depths = loop_depths if loop_depths is not None else {}
         self.violations: list[LintViolation] = []
 
@@ -425,6 +466,70 @@ class _Checker(ast.NodeVisitor):
                 "lock against creator unlink",
             )
 
+    # -- RC008 ----------------------------------------------------------
+
+    @staticmethod
+    def _astype_dtype(node: ast.Call) -> str | None:
+        """The dtype name an ``x.astype(...)`` call targets, if literal."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+            return None
+        arg: ast.AST | None = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                arg = kw.value
+        if isinstance(arg, ast.Attribute):
+            return arg.attr
+        if isinstance(arg, ast.Name):
+            return arg.id
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+
+    def _check_narrowing_astype(self, node: ast.Call) -> None:
+        if not self.in_index_domain:
+            return
+        dtype = self._astype_dtype(node)
+        if dtype in _NARROW_INT_DTYPES:
+            self._flag(
+                "RC008",
+                node,
+                f".astype({dtype}) narrows silently past the dtype's "
+                "range; guard capacity explicitly and annotate with "
+                "# check: allow(RC008)",
+            )
+
+    @staticmethod
+    def _bare_indices_root(node: ast.AST) -> str | None:
+        """``indices`` / ``x.indices`` behind any subscripting, else None.
+
+        An operand already wrapped in a widening ``astype`` is a Call,
+        which breaks the attribute chain — exactly the sanctioned form.
+        """
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        chain = _attr_chain(node)
+        if chain and chain[-1] in ("indices", "_indices"):
+            return ".".join(chain)
+        return None
+
+    def _check_index_arith(self, node: ast.BinOp) -> None:
+        if not self.in_index_domain:
+            return
+        if not isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            return
+        for operand in (node.left, node.right):
+            root = self._bare_indices_root(operand)
+            if root is not None:
+                self._flag(
+                    "RC008",
+                    node,
+                    f"arithmetic on bare {root} (int32 by contract) can "
+                    "overflow at scale; widen first with "
+                    ".astype(np.int64)",
+                )
+                return
+
     # -- dispatch -------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -437,6 +542,11 @@ class _Checker(ast.NodeVisitor):
             self._check_sqlite_connect(node, chain)
             self._check_shm_attach(node, chain)
         self._check_records_write(node)
+        self._check_narrowing_astype(node)
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_index_arith(node)
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -449,14 +559,22 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _domain_flags(path: str) -> tuple[bool, bool, bool, bool, bool]:
+def _domain_flags(path: str) -> tuple[bool, bool, bool, bool, bool, bool]:
     posix = Path(path).as_posix()
     in_sim = any(frag in posix for frag in _SIM_DOMAIN)
     in_obs = "obs/" in posix or posix.endswith("obs")
     in_records_writer = any(frag in posix for frag in _RECORDS_WRITERS)
     in_sqlite_owner = any(frag in posix for frag in _SQLITE_OWNERS)
     in_shm_owner = any(frag in posix for frag in _SHM_OWNERS)
-    return in_sim, in_obs, in_records_writer, in_sqlite_owner, in_shm_owner
+    in_index_domain = any(frag in posix for frag in _INDEX_DOMAIN)
+    return (
+        in_sim,
+        in_obs,
+        in_records_writer,
+        in_sqlite_owner,
+        in_shm_owner,
+        in_index_domain,
+    )
 
 
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
@@ -473,9 +591,14 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    in_sim, in_obs, in_records_writer, in_sqlite_owner, in_shm_owner = _domain_flags(
-        path
-    )
+    (
+        in_sim,
+        in_obs,
+        in_records_writer,
+        in_sqlite_owner,
+        in_shm_owner,
+        in_index_domain,
+    ) = _domain_flags(path)
     checker = _Checker(
         path,
         in_sim,
@@ -484,6 +607,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
         in_records_writer=in_records_writer,
         in_sqlite_owner=in_sqlite_owner,
         in_shm_owner=in_shm_owner,
+        in_index_domain=in_index_domain,
     )
     checker.visit(tree)
     lines = source.splitlines()

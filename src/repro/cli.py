@@ -17,6 +17,8 @@ Subcommands::
     repro-color check lint src                 # repo-specific lint pass
     repro-color check golden --write           # golden digests / drift
     repro-color check verify                   # static race/bounds verifier
+    repro-color check types                    # dtype/overflow certification
+    repro-color check lower --emit c           # verified lowering to C
     repro-color pipeline run report-smoke --store ci.sqlite
     repro-color report --store ci.sqlite --fail-on-regression
     repro-color db info                        # run-store table counts
@@ -455,7 +457,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="correctness tooling: validators, races, lint, golden, verify",
+        help="correctness tooling: validators, races, lint, golden, "
+        "verify, types, lower",
     )
     check_sub = p_check.add_subparsers(dest="check_command", required=True)
 
@@ -584,6 +587,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="lanes per wavefront for the lockstep exemption",
     )
     c_verify.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    c_types = check_sub.add_parser(
+        "types",
+        help="dtype/shape inference and integer-overflow certification "
+        "of the device-kernel specs",
+    )
+    c_types.add_argument(
+        "--kernel",
+        "-k",
+        default=None,
+        help="certify one registered kernel (default: all)",
+    )
+    c_types.add_argument(
+        "--wavefront-size",
+        type=int,
+        default=64,
+        help="lanes per wavefront for the range premises",
+    )
+    c_types.add_argument(
+        "--details", action="store_true", help="print per-value ranges"
+    )
+    c_types.add_argument("--json", action="store_true", help="emit JSON to stdout")
+
+    c_lower = check_sub.add_parser(
+        "lower",
+        help="verified lowering of certified kernels to a typed IR "
+        "with C and numba emitters (refuses uncertified kernels)",
+    )
+    c_lower.add_argument(
+        "--kernel",
+        "-k",
+        default=None,
+        help="lower one registered kernel (default: all)",
+    )
+    c_lower.add_argument(
+        "--emit",
+        choices=("ir", "c", "numba"),
+        default="ir",
+        help="what to print: the typed IR (default), the C translation "
+        "unit, or the numba/python source",
+    )
+    c_lower.add_argument(
+        "--diff",
+        action="store_true",
+        help="cffi-compile the emitted C and check a tiny coloring "
+        "differential against the per-thread interpreter",
+    )
+    c_lower.add_argument(
+        "--wavefront-size",
+        type=int,
+        default=64,
+        help="lanes per wavefront for certification and launchers",
+    )
+    c_lower.add_argument("--json", action="store_true", help="emit JSON to stdout")
 
     p_serve = sub.add_parser(
         "serve", help="run the coloring job server (see repro.serve)"
@@ -1301,12 +1358,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_envelope(
+    command: str,
+    ok: bool,
+    items: list[dict[str, object]],
+    **extras: object,
+) -> None:
+    """Emit the unified ``repro check`` JSON envelope.
+
+    Every check subcommand's ``--json`` output has the same shape:
+    ``{"command": "check.<sub>", "ok": bool, "items": [...]}`` where
+    each item carries its subject key (``rule`` / ``kernel`` /
+    ``algorithm`` / ``cell``), a ``verdicts`` mapping, and an
+    ``issues`` list (empty when clean); extras ride at the top level.
+    """
+    doc: dict[str, object] = {"command": f"check.{command}", "ok": ok}
+    doc.update(extras)
+    doc["items"] = items
+    print(json.dumps(doc, indent=2))
+
+
 def _cmd_check_validate(args: argparse.Namespace) -> int:
     from .check.validators import validate_run
 
     graph, name = _resolve_graph(args.graph, args.scale)
     algorithms = sorted(GPU_ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
     rows = []
+    items: list[dict[str, object]] = []
     failed = 0
     for algo in algorithms:
         ctx = _make_context(args)
@@ -1324,16 +1402,32 @@ def _cmd_check_validate(args: argparse.Namespace) -> int:
                 "status": "ok" if report.ok else "FAILED",
             }
         )
+        items.append(
+            {
+                "algorithm": algo,
+                "verdicts": {"validation": "ok" if report.ok else "failed"},
+                "issues": [str(e) for e in report.errors],
+                "detail": {
+                    "colors": result.num_colors,
+                    "checks": report.checks_run,
+                    "warnings": len(report.warnings),
+                },
+            }
+        )
         if not report.ok:
             failed += 1
             if not args.json:
                 print(report.summary())
                 print()
     if args.json:
-        print(
-            json.dumps(
-                {"graph": name, "results": rows, "ok": failed == 0}, indent=2
-            )
+        _print_envelope(
+            "validate",
+            failed == 0,
+            items,
+            graph=name,
+            mapping=args.mapping,
+            schedule=args.schedule,
+            seed=args.seed,
         )
     else:
         print(
@@ -1360,7 +1454,7 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
             f"known: {', '.join(sorted(RACE_SCANNERS))} or 'all'"
         )
     failed = 0
-    scans = []
+    items: list[dict[str, object]] = []
     for algo in algorithms:
         scan = scan_algorithm_races(
             graph,
@@ -1369,14 +1463,19 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
             wavefront_size=args.wavefront_size,
         )
         if args.json:
-            scans.append(
+            items.append(
                 {
                     "algorithm": scan.algorithm,
-                    "ok": scan.ok,
-                    "findings": len(scan.findings),
-                    "unexpected": len(scan.unexpected),
-                    "racy_arrays": scan.racy_arrays,
-                    "total_accesses": scan.total_accesses,
+                    "verdicts": {
+                        "races": "clean" if scan.ok else "unexpected-races"
+                    },
+                    "issues": [f.describe() for f in scan.unexpected[:20]],
+                    "detail": {
+                        "findings": len(scan.findings),
+                        "unexpected": len(scan.unexpected),
+                        "racy_arrays": scan.racy_arrays,
+                        "total_accesses": scan.total_accesses,
+                    },
                 }
             )
         else:
@@ -1389,8 +1488,8 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
         if not scan.ok:
             failed += 1
     if args.json:
-        print(
-            json.dumps({"graph": name, "scans": scans, "ok": failed == 0}, indent=2)
+        _print_envelope(
+            "races", failed == 0, items, graph=name, seed=args.seed
         )
     return 1 if failed else 0
 
@@ -1400,7 +1499,20 @@ def _cmd_check_lint(args: argparse.Namespace) -> int:
 
     if args.explain:
         if args.json:
-            print(json.dumps({"rules": RULES}, indent=2))
+            _print_envelope(
+                "lint",
+                True,
+                [
+                    {
+                        "rule": rule,
+                        "verdicts": {"lint": "documented"},
+                        "issues": [],
+                        "detail": {"description": desc},
+                    }
+                    for rule, desc in sorted(RULES.items())
+                ],
+                explain=True,
+            )
         else:
             for rule, desc in sorted(RULES.items()):
                 print(f"{rule}: {desc}")
@@ -1411,24 +1523,21 @@ def _cmd_check_lint(args: argparse.Namespace) -> int:
         for p in args.paths
     )
     if args.json:
-        print(
-            json.dumps(
+        by_rule: dict[str, list[str]] = {rule: [] for rule in sorted(RULES)}
+        for v in violations:
+            by_rule.setdefault(v.rule, []).append(str(v))
+        _print_envelope(
+            "lint",
+            not violations,
+            [
                 {
-                    "files": n_files,
-                    "ok": not violations,
-                    "violations": [
-                        {
-                            "rule": v.rule,
-                            "path": v.path,
-                            "line": v.line,
-                            "col": v.col,
-                            "message": v.message,
-                        }
-                        for v in violations
-                    ],
-                },
-                indent=2,
-            )
+                    "rule": rule,
+                    "verdicts": {"lint": "clean" if not found else "violated"},
+                    "issues": found,
+                }
+                for rule, found in by_rule.items()
+            ],
+            files=n_files,
         )
         return 1 if violations else 0
     for v in violations:
@@ -1458,17 +1567,41 @@ def _cmd_check_golden(args: argparse.Namespace) -> int:
         )
     report = check_drift(load_golden(baseline_path), current)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "ok": report.ok,
-                    "matched": report.matched,
-                    "drifted": report.drifted,
-                    "missing": report.missing,
-                    "extra": report.extra,
-                },
-                indent=2,
+        items: list[dict[str, object]] = []
+        flagged = set(report.drifted) | set(report.missing) | set(report.extra)
+        for d in current:
+            if d.key not in flagged:
+                items.append(
+                    {"cell": d.key, "verdicts": {"golden": "matched"}, "issues": []}
+                )
+        for key, diffs in sorted(report.drifted.items()):
+            items.append(
+                {"cell": key, "verdicts": {"golden": "drifted"}, "issues": diffs}
             )
+        for key in report.missing:
+            items.append(
+                {
+                    "cell": key,
+                    "verdicts": {"golden": "missing"},
+                    "issues": ["in baseline but not in current run"],
+                }
+            )
+        for key in report.extra:
+            items.append(
+                {
+                    "cell": key,
+                    "verdicts": {"golden": "new"},
+                    "issues": ["in current run but not in baseline"],
+                }
+            )
+        _print_envelope(
+            "golden",
+            report.ok,
+            items,
+            matched=report.matched,
+            drifted=len(report.drifted),
+            missing=len(report.missing),
+            extra=len(report.extra),
         )
     else:
         print(report.summary())
@@ -1503,16 +1636,28 @@ def _cmd_check_flow(args: argparse.Namespace) -> int:
         payload.append((report, entry))
 
     if args.json:
-        doc: dict[str, object] = {
+        items = [
+            {
+                "algorithm": report.algorithm,
+                "verdicts": {
+                    "flow": "ok" if not report.unknown_branches else "unknown-variance"
+                },
+                "issues": [
+                    f"L{b.line}: unknown-variance {b.kind}: {b.source}"
+                    for b in report.unknown_branches
+                ],
+                "detail": entry,
+            }
+            for report, entry in payload
+        ]
+        extras: dict[str, object] = {
             "mapping": args.mapping,
-            "algorithms": [entry for _, entry in payload],
             "unknown_branches": unknown,
-            "ok": unknown == 0,
         }
         if graph_name is not None:
-            doc["graph"] = graph_name
-            doc["scale"] = args.scale
-        print(json.dumps(doc, indent=2))
+            extras["graph"] = graph_name
+            extras["scale"] = args.scale
+        _print_envelope("flow", unknown == 0, items, **extras)
         return 1 if unknown else 0
 
     for report, entry in payload:
@@ -1586,16 +1731,30 @@ def _cmd_check_verify(args: argparse.Namespace) -> int:
     ok = not failed and not disagree
 
     if args.json:
-        doc: dict[str, object] = {
-            "mapping": args.mapping,
-            "algorithms": [r.to_dict() for r in reports],
-            "ok": ok,
-        }
+        items = []
+        for r in reports:
+            issues = [
+                f"unexpected may-race on {arr}" for arr in r.unexpected
+            ]
+            issues += [
+                f"expected race not derived on {arr}"
+                for arr in r.unproven_expected
+            ]
+            issues += [s.describe() for s in r.unproven_bounds]
+            items.append(
+                {
+                    "algorithm": r.algorithm,
+                    "verdicts": {"memsafe": "ok" if r.ok else "failed"},
+                    "issues": issues,
+                    "detail": r.to_dict(),
+                }
+            )
+        extras: dict[str, object] = {"mapping": args.mapping}
         if rows is not None:
-            doc["graph"] = graph_name
-            doc["seed"] = args.seed
-            doc["cross_check"] = [row.to_dict() for row in rows]
-        print(json.dumps(doc, indent=2))
+            extras["graph"] = graph_name
+            extras["seed"] = args.seed
+            extras["cross_check"] = [row.to_dict() for row in rows]
+        _print_envelope("verify", ok, items, **extras)
         return 0 if ok else 1
 
     kernel_rows = []
@@ -1647,6 +1806,155 @@ def _cmd_check_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _check_kernels(kernel: str | None) -> list:
+    from .coloring.device_kernels import DEVICE_KERNELS
+
+    if kernel is None:
+        return list(DEVICE_KERNELS.values())
+    if kernel not in DEVICE_KERNELS:
+        raise SystemExit(
+            f"error: no registered kernel {kernel!r}; "
+            f"known: {', '.join(sorted(DEVICE_KERNELS))}"
+        )
+    return [DEVICE_KERNELS[kernel]]
+
+
+def _cmd_check_types(args: argparse.Namespace) -> int:
+    from .check.flow.lower import certificate_for
+
+    kernels = _check_kernels(args.kernel)
+    items: list[dict[str, object]] = []
+    failed = 0
+    for kernel in kernels:
+        cert = certificate_for(kernel, wavefront_size=args.wavefront_size)
+        tr, ov = cert.types, cert.overflow
+        clean = tr.ok and ov.ok
+        if not clean:
+            failed += 1
+        if args.json:
+            items.append(
+                {
+                    "kernel": kernel.name,
+                    "verdicts": {
+                        "types": "ok" if tr.ok else "rejected",
+                        "overflow": ov.verdict if ov.ok else "rejected",
+                    },
+                    "issues": [f"L{i.line}: {i.message}" for i in tr.issues]
+                    + list(ov.issues),
+                    "detail": {
+                        "types": tr.to_dict(),
+                        "overflow": ov.to_dict(),
+                    },
+                }
+            )
+            continue
+        if args.details:
+            print(tr.summary())
+            print(ov.summary())
+        else:
+            print(tr.summary().splitlines()[0])
+            print(ov.summary().splitlines()[0])
+    if args.json:
+        _print_envelope(
+            "types",
+            failed == 0,
+            items,
+            wavefront_size=args.wavefront_size,
+        )
+        return 1 if failed else 0
+    status = "all certified" if failed == 0 else f"{failed} kernels REJECTED"
+    print(f"repro types: {len(kernels)} kernels, {status}")
+    return 1 if failed else 0
+
+
+def _cmd_check_lower(args: argparse.Namespace) -> int:
+    from .check.flow.lower import (
+        LoweringRefused,
+        certificate_for,
+        emit_c,
+        emit_python,
+        lower_kernel,
+        render_ir,
+    )
+
+    kernels = _check_kernels(args.kernel)
+    items: list[dict[str, object]] = []
+    irs = []
+    failed = 0
+    for kernel in kernels:
+        cert = certificate_for(kernel, wavefront_size=args.wavefront_size)
+        entry: dict[str, object] = {
+            "kernel": kernel.name,
+            "verdicts": cert.verdicts(),
+            "issues": list(cert.reasons),
+        }
+        if cert.ok:
+            try:
+                irs.append(lower_kernel(kernel, cert))
+            except LoweringRefused as exc:
+                entry["issues"] = list(entry["issues"]) + [str(exc)]  # type: ignore[operator]
+                failed += 1
+        else:
+            failed += 1
+            if not args.json:
+                print(f"lower:{kernel.name} — REFUSED")
+                for reason in cert.reasons:
+                    print(f"    {reason}")
+        items.append(entry)
+
+    if not args.json and irs:
+        if args.emit == "c":
+            source, _ = emit_c(irs)
+            print(source)
+        elif args.emit == "numba":
+            print(emit_python(irs))
+        else:
+            for ir in irs:
+                print(render_ir(ir))
+                print()
+
+    diff_rows: list[dict[str, object]] = []
+    diff_failed = 0
+    if args.diff and not failed:
+        import numpy as np
+
+        from .check.flow.lower import compile_c
+        from .coloring.interp import INTERP_ALGORITHMS, ThreadLauncher, run_coloring
+        from .harness.suite import build
+
+        if args.kernel is not None:
+            raise SystemExit("error: --diff needs the full kernel set (drop -k)")
+        compiled = compile_c(wavefront_size=args.wavefront_size)
+        graph = build("rmat", scale="tiny")
+        reference = ThreadLauncher()
+        for algo in INTERP_ALGORITHMS:
+            a = run_coloring(graph, algo, reference)
+            b = run_coloring(graph, algo, compiled)
+            same = bool(np.array_equal(a, b))
+            diff_rows.append(
+                {"algorithm": algo, "identical": same, "colors": int(a.max()) + 1}
+            )
+            if not same:
+                diff_failed += 1
+            if not args.json:
+                status = "identical" if same else "MISMATCH"
+                print(f"diff:{algo} — compiled C vs interpreter: {status}")
+
+    ok = failed == 0 and diff_failed == 0
+    if args.json:
+        extras: dict[str, object] = {
+            "emit": args.emit,
+            "wavefront_size": args.wavefront_size,
+        }
+        if args.diff:
+            extras["diff"] = diff_rows
+        _print_envelope("lower", ok, items, **extras)
+        return 0 if ok else 1
+    status = "ok" if ok else f"{failed} refused, {diff_failed} diff mismatches"
+    print(f"repro lower: {len(kernels)} kernels, {status}")
+    return 0 if ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     handlers = {
         "validate": _cmd_check_validate,
@@ -1655,6 +1963,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "golden": _cmd_check_golden,
         "flow": _cmd_check_flow,
         "verify": _cmd_check_verify,
+        "types": _cmd_check_types,
+        "lower": _cmd_check_lower,
     }
     return handlers[args.check_command](args)
 

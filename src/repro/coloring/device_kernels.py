@@ -71,11 +71,23 @@ class DeviceKernel:
     #: wavefront-local (LDS) arrays: shared by the lanes of one
     #: wavefront only, never across wavefronts.
     local_arrays: tuple[str, ...] = ()
+    #: declared launch dtypes, ``(param, dtype)`` pairs covering every
+    #: parameter: element dtype for arrays, scalar dtype for ids and
+    #: uniforms. These are *launch facts* — what the host actually
+    #: passes — and seed the static dtype/width certifier
+    #: (:mod:`repro.check.flow.types`); a drift test pins them to the
+    #: vectorized implementations' runtime dtypes.
+    param_dtypes: tuple[tuple[str, str], ...] = ()
     notes: str = ""
 
     @property
     def params(self) -> tuple[str, ...]:
         return tuple(inspect.signature(self.fn).parameters)
+
+    @property
+    def dtypes(self) -> dict[str, str]:
+        """``param name → declared dtype`` (empty when undeclared)."""
+        return dict(self.param_dtypes)
 
     @property
     def array_params(self) -> tuple[str, ...]:
@@ -107,6 +119,7 @@ def device_kernel(
     uniform_params: tuple[str, ...] = (),
     atomic_arrays: tuple[str, ...] = (),
     local_arrays: tuple[str, ...] = (),
+    param_dtypes: tuple[tuple[str, str], ...] = (),
     notes: str = "",
 ) -> Callable[[Callable[..., None]], Callable[..., None]]:
     """Register a per-thread kernel spec under its algorithms."""
@@ -121,6 +134,7 @@ def device_kernel(
             uniform_params=uniform_params,
             atomic_arrays=atomic_arrays,
             local_arrays=local_arrays,
+            param_dtypes=param_dtypes,
             notes=notes,
         )
         DEVICE_KERNELS[spec.name] = spec
@@ -163,6 +177,15 @@ def kernel_ast(kernel: DeviceKernel) -> ast.FunctionDef:
 @device_kernel(
     algorithms=("maxmin", "hybrid-switch"),
     uniform_params=("round_k",),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("indptr", "int64"),
+        ("indices", "int32"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+        ("round_k", "int32"),
+    ),
     notes="two independent sets per sweep: local maxima take 2k, minima 2k+1",
 )
 def maxmin_sweep(tid, indptr, indices, priorities, colors_in, colors_out, round_k):
@@ -195,6 +218,19 @@ def maxmin_sweep(tid, indptr, indices, priorities, colors_in, colors_out, round_
     grid="vertex-wavefront",
     uniform_params=("round_k", "wavefront_size"),
     local_arrays=("scratch_max", "scratch_min"),
+    param_dtypes=(
+        ("wid", "int64"),
+        ("lane", "int64"),
+        ("indptr", "int64"),
+        ("indices", "int32"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+        ("scratch_max", "float64"),
+        ("scratch_min", "float64"),
+        ("round_k", "int32"),
+        ("wavefront_size", "int32"),
+    ),
     notes="cooperative variant: 64 lanes stride one neighbor list",
 )
 def maxmin_wavefront_sweep(
@@ -255,6 +291,14 @@ def maxmin_wavefront_sweep(
 
 @device_kernel(
     algorithms=("jp",),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("indptr", "int64"),
+        ("indices", "int32"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+    ),
     notes="independent-set winners take the smallest color absent around them",
 )
 def jp_sweep(tid, indptr, indices, priorities, colors_in, colors_out):
@@ -292,6 +336,13 @@ def jp_sweep(tid, indptr, indices, priorities, colors_in, colors_out):
 
 @device_kernel(
     algorithms=("speculative", "hybrid-switch", "partitioned"),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("indptr", "int64"),
+        ("indices", "int32"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+    ),
     notes="optimistic first-fit against the snapshot; conflicts resolve later",
 )
 def spec_assign(tid, indptr, indices, colors_in, colors_out):
@@ -316,6 +367,14 @@ def spec_assign(tid, indptr, indices, colors_in, colors_out):
 
 @device_kernel(
     algorithms=("speculative", "hybrid-switch", "partitioned"),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("indptr", "int64"),
+        ("indices", "int32"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+    ),
     notes="monochromatic edges uncolor their lower-priority endpoint",
 )
 def spec_detect(tid, indptr, indices, priorities, colors_in, colors_out):
@@ -341,6 +400,15 @@ def spec_detect(tid, indptr, indices, priorities, colors_in, colors_out):
     algorithms=("edge-centric",),
     grid="edge",
     atomic_arrays=("acc_max", "acc_min"),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("edge_u", "int64"),
+        ("edge_v", "int32"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("acc_max", "float64"),
+        ("acc_min", "float64"),
+    ),
     notes="one thread per directed edge; atomic max/min fold into the owner",
 )
 def ec_edge_fold(tid, edge_u, edge_v, priorities, colors_in, acc_max, acc_min):
@@ -366,6 +434,15 @@ def ec_edge_fold(tid, edge_u, edge_v, priorities, colors_in, acc_max, acc_min):
 @device_kernel(
     algorithms=("edge-centric",),
     uniform_params=("round_k",),
+    param_dtypes=(
+        ("tid", "int64"),
+        ("priorities", "float64"),
+        ("colors_in", "int64"),
+        ("colors_out", "int64"),
+        ("acc_max", "float64"),
+        ("acc_min", "float64"),
+        ("round_k", "int32"),
+    ),
     notes="O(1) per-vertex decision against the folded accumulators",
 )
 def ec_decide(tid, priorities, colors_in, colors_out, acc_max, acc_min, round_k):

@@ -108,7 +108,10 @@ class CSRGraph:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.add.at(indptr, src + 1, 1)
         np.cumsum(indptr, out=indptr)
-        return CSRGraph(indptr, dst.astype(np.int32), validate=False)
+        if n > np.iinfo(np.int32).max:
+            raise ValueError("num_vertices exceeds int32 neighbor-id capacity")
+        # Guarded above: every id is < n <= int32 max.
+        return CSRGraph(indptr, dst.astype(np.int32), validate=False)  # check: allow(RC008)
 
     @staticmethod
     def from_scipy(matrix) -> "CSRGraph":
@@ -181,7 +184,7 @@ class CSRGraph:
         if np.any(owner == indices):
             raise ValueError("self-loops are not allowed")
         # Symmetry: (u, v) present iff (v, u) present.
-        key_fwd = owner * n + indices
+        key_fwd = owner * n + indices.astype(np.int64)
         key_rev = indices.astype(np.int64) * n + owner
         if not np.array_equal(np.sort(key_fwd), np.sort(key_rev)):
             raise ValueError("adjacency must be symmetric (undirected graph)")

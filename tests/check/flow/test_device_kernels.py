@@ -32,6 +32,7 @@ from repro.coloring.device_kernels import (
     spec_assign,
     spec_detect,
 )
+from repro.coloring.interp import INTERP_ALGORITHMS, ThreadLauncher, run_coloring
 from repro.harness.suite import build
 
 
@@ -197,3 +198,46 @@ class TestWavefrontKernelEquivalence:
                     partial_colors, out, scratch_max, scratch_min, k, wfs,
                 )
         np.testing.assert_array_equal(out, expected)
+
+
+class TestDeclaredDtypes:
+    """The registered ``param_dtypes`` match what the drivers pass.
+
+    Every launch the end-to-end driver issues is intercepted and each
+    array argument's numpy dtype compared against the kernel's declared
+    dtype table — the same table the type inference, the overflow
+    certificates, and the C emitter all key off. A silent drift here
+    would make every certificate vacuous, so it is pinned at runtime.
+    """
+
+    class _Checking(ThreadLauncher):
+        def __init__(self):
+            self.seen: set[tuple[str, str]] = set()
+            self.mismatches: list[tuple[str, str, str, str | None]] = []
+
+        def launch(self, name, count, /, **params):
+            declared = DEVICE_KERNELS[name].dtypes
+            for p, val in params.items():
+                if not isinstance(val, np.ndarray):
+                    continue
+                want = declared.get(p)
+                if want is None or np.dtype(want) != val.dtype:
+                    self.mismatches.append((name, p, str(val.dtype), want))
+                self.seen.add((name, p))
+            super().launch(name, count, **params)
+
+    def test_driver_arguments_match_declarations(self, graph):
+        launcher = self._Checking()
+        for algorithm in INTERP_ALGORITHMS:
+            run_coloring(graph, algorithm, launcher)
+        run_coloring(graph, "maxmin", launcher, mapping="wavefront")
+        assert launcher.mismatches == []
+        # every registered kernel's array params were actually exercised
+        for kernel in DEVICE_KERNELS.values():
+            for p in kernel.array_params:
+                assert (kernel.name, p) in launcher.seen, (kernel.name, p)
+
+    def test_every_kernel_declares_every_param(self):
+        for kernel in DEVICE_KERNELS.values():
+            declared = set(kernel.dtypes)
+            assert declared == set(kernel.params), kernel.name

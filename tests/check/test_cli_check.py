@@ -15,6 +15,19 @@ def json_out(capsys) -> dict:
     return payload
 
 
+def assert_envelope(payload: dict, command: str, subject_key: str) -> list[dict]:
+    """Every ``repro check --json`` output shares one envelope shape."""
+    assert payload["command"] == f"check.{command}"
+    assert isinstance(payload["ok"], bool)
+    items = payload["items"]
+    assert isinstance(items, list)
+    for item in items:
+        assert subject_key in item
+        assert isinstance(item["verdicts"], dict)
+        assert isinstance(item["issues"], list)
+    return items
+
+
 class TestCheckValidate:
     def test_single_algorithm(self, capsys):
         rc = main(["check", "validate", "rmat", "--scale", "tiny", "-a", "jp"])
@@ -35,6 +48,11 @@ class TestCheckValidate:
         payload = json_out(capsys)
         assert rc == 0
         assert payload["ok"] is True and payload["graph"] == "rmat"
+        (item,) = assert_envelope(payload, "validate", "algorithm")
+        assert item["algorithm"] == "jp"
+        assert item["verdicts"] == {"validation": "ok"}
+        assert item["issues"] == []
+        assert item["detail"]["colors"] > 0
 
     def test_unknown_graph_exits(self):
         with pytest.raises(SystemExit):
@@ -62,9 +80,11 @@ class TestCheckRaces:
                    "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        (scan,) = payload["scans"]
-        assert scan["algorithm"] == "jp" and scan["unexpected"] == 0
-        assert scan["total_accesses"] > 0
+        (scan,) = assert_envelope(payload, "races", "algorithm")
+        assert scan["algorithm"] == "jp"
+        assert scan["verdicts"] == {"races": "clean"}
+        assert scan["detail"]["unexpected"] == 0
+        assert scan["detail"]["total_accesses"] > 0
 
     def test_unknown_scanner_exits(self):
         with pytest.raises(SystemExit):
@@ -96,7 +116,10 @@ class TestCheckLint:
         rc = main(["check", "lint", "src/repro/check", "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        assert payload["ok"] is True and payload["violations"] == []
+        items = assert_envelope(payload, "lint", "rule")
+        assert payload["ok"] is True
+        assert all(item["verdicts"] == {"lint": "clean"} for item in items)
+        assert all(item["issues"] == [] for item in items)
 
     def test_json_violations(self, tmp_path, capsys):
         bad = tmp_path / "gpusim" / "mod.py"
@@ -105,14 +128,18 @@ class TestCheckLint:
         rc = main(["check", "lint", str(bad), "--json"])
         payload = json_out(capsys)
         assert rc == 1
-        (violation,) = payload["violations"]
-        assert violation["rule"] == "RC002" and violation["line"] == 2
+        items = assert_envelope(payload, "lint", "rule")
+        (violated,) = [i for i in items if i["verdicts"]["lint"] == "violated"]
+        assert violated["rule"] == "RC002"
+        (issue,) = violated["issues"]
+        assert ":2:" in issue
 
     def test_explain_json(self, capsys):
         rc = main(["check", "lint", "--explain", "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        assert set(payload["rules"]) == {
+        items = assert_envelope(payload, "lint", "rule")
+        assert {item["rule"] for item in items} == {
             "RC001",
             "RC002",
             "RC003",
@@ -120,6 +147,7 @@ class TestCheckLint:
             "RC005",
             "RC006",
             "RC007",
+            "RC008",
         }
 
 
@@ -156,7 +184,9 @@ class TestCheckGoldenJson:
         rc = main(["check", "golden", "--baseline", str(baseline), "--json"])
         payload = json_out(capsys)
         assert rc == 0
+        items = assert_envelope(payload, "golden", "cell")
         assert payload["ok"] is True and payload["matched"] > 0
+        assert all(i["verdicts"] == {"golden": "matched"} for i in items)
 
         doc = json.loads(baseline.read_text())
         doc[next(iter(doc))]["num_colors"] += 1
@@ -164,7 +194,10 @@ class TestCheckGoldenJson:
         rc = main(["check", "golden", "--baseline", str(baseline), "--json"])
         payload = json_out(capsys)
         assert rc == 1
-        assert payload["ok"] is False and payload["drifted"]
+        items = assert_envelope(payload, "golden", "cell")
+        assert payload["ok"] is False and payload["drifted"] == 1
+        (drifted,) = [i for i in items if i["verdicts"]["golden"] == "drifted"]
+        assert drifted["issues"]
 
 
 class TestCheckFlow:
@@ -182,8 +215,9 @@ class TestCheckFlow:
         payload = json_out(capsys)
         assert rc == 0
         assert payload["ok"] is True and payload["unknown_branches"] == 0
-        (entry,) = payload["algorithms"]
-        (kernel,) = entry["kernels"]
+        (item,) = assert_envelope(payload, "flow", "algorithm")
+        assert item["verdicts"] == {"flow": "ok"}
+        (kernel,) = item["detail"]["kernels"]
         assert kernel["summary"]["divergent_loops"] == 1
 
     def test_graph_prediction_attached(self, capsys):
@@ -194,8 +228,8 @@ class TestCheckFlow:
         payload = json_out(capsys)
         assert rc == 0
         assert payload["graph"] == "rmat"
-        (entry,) = payload["algorithms"]
-        pred = entry["prediction"]
+        (item,) = assert_envelope(payload, "flow", "algorithm")
+        pred = item["detail"]["prediction"]
         assert pred["imbalance_factor"] >= 1.0
         assert 0.0 < pred["simd_efficiency"] <= 1.0
 
@@ -218,8 +252,8 @@ class TestCheckFlow:
         rc = main(["check", "flow", "-a", "maxmin", "-g", str(empty), "--json"])
         payload = json_out(capsys)
         assert rc == 0
-        (entry,) = payload["algorithms"]
-        assert entry["prediction"]["imbalance_factor"] == 1.0
+        (item,) = assert_envelope(payload, "flow", "algorithm")
+        assert item["detail"]["prediction"]["imbalance_factor"] == 1.0
 
     def test_unknown_algorithm_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -244,8 +278,11 @@ class TestCheckVerify:
         payload = json_out(capsys)
         assert rc == 0
         assert payload["ok"] is True
-        (entry,) = payload["algorithms"]
-        assert entry["algorithm"] == "speculative"
+        (item,) = assert_envelope(payload, "verify", "algorithm")
+        assert item["algorithm"] == "speculative"
+        assert item["verdicts"] == {"memsafe": "ok"}
+        assert item["issues"] == []
+        entry = item["detail"]
         assert entry["may_race"] == ["colors"] == entry["expected_racy"]
         assert entry["unexpected"] == []
         (row,) = payload["cross_check"]
@@ -269,6 +306,82 @@ class TestCheckVerify:
         with pytest.raises(SystemExit) as exc:
             main(["check", "verify", "-a", "nope"])
         assert exc.value.code == 2
+
+
+class TestCheckTypes:
+    def test_all_kernels_text(self, capsys):
+        rc = main(["check", "types"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "types:maxmin_sweep" in out
+        assert "overflow:maxmin_sweep" in out
+        assert "all certified" in out
+
+    def test_details_show_ranges(self, capsys):
+        rc = main(["check", "types", "-k", "maxmin_sweep", "--details"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "int32 → int64" in out  # implicit widening made explicit
+        assert "needs-int64" in out and "m <= 2147483647" in out
+
+    def test_json_envelope(self, capsys):
+        rc = main(["check", "types", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        items = assert_envelope(payload, "types", "kernel")
+        assert payload["ok"] is True
+        by_name = {item["kernel"]: item for item in items}
+        assert len(by_name) == 7
+        # the CSR offsets are the values the paper's int32 ids can't hold
+        assert by_name["maxmin_sweep"]["verdicts"] == {
+            "types": "ok",
+            "overflow": "needs-int64",
+        }
+        assert by_name["ec_decide"]["verdicts"] == {
+            "types": "ok",
+            "overflow": "fits-int32",
+        }
+        assert all(item["issues"] == [] for item in items)
+
+    def test_unknown_kernel_exits(self):
+        with pytest.raises(SystemExit):
+            main(["check", "types", "-k", "nope"])
+
+
+class TestCheckLower:
+    def test_emit_ir_text(self, capsys):
+        rc = main(["check", "lower", "-k", "jp_sweep"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel jp_sweep(" in out
+        assert "alloc bool[" in out  # the private forbidden array
+        assert "repro lower: 1 kernels, ok" in out
+
+    def test_emit_c_text(self, capsys):
+        rc = main(["check", "lower", "--emit", "c"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "static void maxmin_sweep(" in out
+        assert "void launch_ec_decide(" in out
+        assert "(int64_t)" in out  # an explicit widening cast survived
+
+    def test_emit_numba_text(self, capsys):
+        rc = main(["check", "lower", "--emit", "numba"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "from numba import njit" in out
+        assert "def launch_jp_sweep(" in out
+
+    def test_json_envelope(self, capsys):
+        rc = main(["check", "lower", "--json"])
+        payload = json_out(capsys)
+        assert rc == 0
+        items = assert_envelope(payload, "lower", "kernel")
+        assert payload["ok"] is True and len(items) == 7
+        for item in items:
+            assert item["verdicts"]["memsafe"] == "ok"
+            assert item["verdicts"]["types"] == "ok"
+            assert item["verdicts"]["overflow"] in ("fits-int32", "needs-int64")
 
 
 class TestMalformedArguments:

@@ -281,6 +281,54 @@ class TestRC007SharedMemoryAttach:
         assert lint_source(src, HARNESS_PATH) == []
 
 
+class TestRC008NarrowIndexArith:
+    GRAPHS_PATH = "src/repro/graphs/fake.py"
+
+    def test_narrowing_astype_flagged(self):
+        src = "import numpy as np\nids = xs.astype(np.int32)\n"
+        assert _rules(lint_source(src, self.GRAPHS_PATH)) == {"RC008"}
+        assert _rules(lint_source(src, COLORING_PATH)) == {"RC008"}
+
+    def test_string_dtype_spelling_flagged(self):
+        src = 'ids = xs.astype("i4")\n'
+        assert _rules(lint_source(src, self.GRAPHS_PATH)) == {"RC008"}
+
+    def test_dtype_keyword_flagged(self):
+        src = "import numpy as np\nids = xs.astype(dtype=np.uint16)\n"
+        assert _rules(lint_source(src, self.GRAPHS_PATH)) == {"RC008"}
+
+    def test_widening_astype_clean(self):
+        src = "import numpy as np\nids = xs.astype(np.int64)\n"
+        assert lint_source(src, self.GRAPHS_PATH) == []
+
+    def test_bare_indices_arithmetic_flagged(self):
+        src = "key = owner * n + graph.indices\n"
+        assert _rules(lint_source(src, self.GRAPHS_PATH)) == {"RC008"}
+        assert _rules(lint_source(src, COLORING_PATH)) == {"RC008"}
+
+    def test_widened_indices_arithmetic_clean(self):
+        src = "import numpy as np\nkey = owner * n + indices.astype(np.int64)\n"
+        assert lint_source(src, self.GRAPHS_PATH) == []
+
+    def test_indices_compare_and_index_clean(self):
+        # comparisons and plain subscripting never overflow — only
+        # arithmetic that can outgrow int32 is in scope
+        src = "ok = (indices < n).all()\nx = colors[indices]\n"
+        assert lint_source(src, self.GRAPHS_PATH) == []
+
+    def test_outside_index_domain_clean(self):
+        src = "import numpy as np\nids = xs.astype(np.int32)\n"
+        assert lint_source(src, HARNESS_PATH) == []
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "import numpy as np\n"
+            "ids = xs.astype(np.int32)  # check: allow(RC008)\n"
+        )
+        assert lint_source(src, self.GRAPHS_PATH) == []
+
+
 class TestMechanics:
     def test_inline_suppression(self):
         src = "import numpy as np\nx = np.random.rand(3)  # check: allow(RC001)\n"
@@ -307,6 +355,7 @@ class TestMechanics:
             "RC005",
             "RC006",
             "RC007",
+            "RC008",
         }
 
     def test_lint_file_and_paths(self, tmp_path):
